@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every ``test_*`` module regenerates one figure or claim of the paper
+(see DESIGN.md's per-experiment index): it prints the rows the paper's
+evaluation would contain and times a representative kernel of the
+experiment with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print result tables; -s is implied by convention, but
+    # ensure capture shows output on demand.
+    pass
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print helper that survives output capture (uses terminal writer)."""
+
+    def _show(text: str) -> None:
+        print(text)
+
+    return _show

@@ -1,0 +1,153 @@
+"""Experiment fig1 — the data-driven compilation flow (paper Fig. 1).
+
+Regenerates the figure's claim as numbers: one application
+specification (DSL kernels + workflow + annotations) enters the flow;
+multiple hardware and software variants per kernel come out, with
+artifacts (SYCL binaries, bitstreams) and runtime metadata. The table
+reports, per kernel, the explored points, the feasible subset, the
+Pareto front and the artifact mix — i.e. the flow of Fig. 1 actually
+produces what the figure promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import EverestCompiler
+from repro.core.dse.space import DesignSpace
+from repro.core.dsl.workflow import Pipeline
+from repro.core.ir import F32, TensorType
+from repro.utils.tables import Table
+
+GEMM = """
+kernel gemm(A: tensor<32x32xf32>, B: tensor<32x32xf32>)
+        -> tensor<32x32xf32> {
+  C = A @ B
+  return C
+}
+"""
+STREAM = """
+kernel stream(X: tensor<512xf32>, G: tensor<512xf32>)
+        -> tensor<512xf32> {
+  Y = sigmoid(exp(X) * G)
+  return Y
+}
+"""
+REDUCE = """
+kernel stats(X: tensor<64x16xf32>) -> tensor<16xf32> {
+  M = mean(X, axes=[0])
+  return M
+}
+"""
+
+
+def build_application():
+    pipeline = Pipeline("fig1-app")
+    a = pipeline.source("a", TensorType((32, 32), F32))
+    b = pipeline.source("b", TensorType((32, 32), F32))
+    x = pipeline.source("x", TensorType((512,), F32))
+    g = pipeline.source("g", TensorType((512,), F32))
+    m = pipeline.source("m", TensorType((64, 16), F32))
+    gemm = pipeline.task("gemm", GEMM, inputs=[a, b])
+    stream = pipeline.task("stream", STREAM, inputs=[x, g])
+    stats = pipeline.task("stats", REDUCE, inputs=[m])
+    pipeline.sink("out1", gemm.output(0))
+    pipeline.sink("out2", stream.output(0))
+    pipeline.sink("out3", stats.output(0))
+    return pipeline
+
+
+SPACE = DesignSpace(
+    targets=("cpu", "fpga"),
+    threads=(1, 4, 8),
+    unrolls=(1, 4, 8),
+    tiles=(0, 8),
+    memory_strategies=("auto", "none"),
+    clocks_hz=(200e6, 300e6),
+)
+
+
+@pytest.fixture(scope="module")
+def compiled_app():
+    return EverestCompiler(space=SPACE).compile(build_application())
+
+
+def test_fig1_variant_generation(compiled_app, benchmark):
+    """One spec in -> many variants per kernel out."""
+    from repro.core.dse.cost_model import evaluate_variant
+    from repro.core.variants import VariantKnobs
+
+    benchmark(lambda: evaluate_variant(
+        compiled_app.module, "stream",
+        VariantKnobs(target="fpga", unroll=4),
+    ))
+    table = Table(
+        "fig1: data-driven compilation flow "
+        "(one spec -> variants + artifacts)",
+        ["kernel", "points", "feasible", "front", "sw variants",
+         "hw variants", "binaries", "bitstreams"],
+    )
+    for kernel, result in compiled_app.exploration.items():
+        variants = compiled_app.package.variants_for(kernel)
+        artifacts = [
+            compiled_app.package.artifact_for(v) for v in variants
+        ]
+        table.add_row(
+            kernel,
+            result.evaluations,
+            len(result.feasible),
+            len(result.front),
+            sum(1 for v in variants if not v.is_hardware),
+            sum(1 for v in variants if v.is_hardware),
+            sum(1 for a in artifacts if a and a.kind == "binary"),
+            sum(1 for a in artifacts if a and a.kind == "bitstream"),
+        )
+    table.show()
+
+    for kernel, result in compiled_app.exploration.items():
+        assert result.evaluations >= 10, kernel
+        assert len(result.feasible) >= 2, kernel
+        variants = compiled_app.package.variants_for(kernel)
+        assert any(v.is_hardware for v in variants), \
+            f"{kernel}: no hardware variant survived"
+        assert any(not v.is_hardware for v in variants), \
+            f"{kernel}: no software variant survived"
+    assert compiled_app.package.verify_integrity()
+
+
+def test_fig1_pareto_fronts(compiled_app, benchmark):
+    """The variants expose genuine latency/energy trade-offs."""
+    from repro.core.dse.pareto import pareto_front
+
+    all_variants = [
+        variant
+        for result in compiled_app.exploration.values()
+        for variant in result.evaluated
+    ]
+    benchmark(lambda: pareto_front(all_variants))
+    table = Table(
+        "fig1: Pareto fronts per kernel (latency us / energy uJ)",
+        ["kernel", "variant", "latency us", "energy uJ"],
+    )
+    for kernel, result in compiled_app.exploration.items():
+        for variant in result.front:
+            table.add_row(
+                kernel,
+                variant.knobs.describe(),
+                variant.cost.latency_s * 1e6,
+                variant.cost.energy_j * 1e6,
+            )
+    table.show()
+    # at least one kernel has a real trade-off (front size > 1)
+    assert any(
+        len(result.front) > 1
+        for result in compiled_app.exploration.values()
+    )
+
+
+def test_fig1_compile_throughput(benchmark):
+    """Time the end-to-end compilation of one pipeline."""
+    pipeline = build_application()
+    compiler = EverestCompiler(space=DesignSpace.small())
+    result = benchmark(lambda: compiler.compile(pipeline))
+    assert result.package.kernels()

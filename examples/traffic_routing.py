@@ -1,0 +1,107 @@
+"""Use case 3 (paper §VI-C): traffic modeling and PTDR routing.
+
+Builds the synthetic city, simulates a day of traffic from the O/D
+matrix, trains the speed model on floating-car data, and answers a
+risk-aware routing query with Monte Carlo PTDR — showing why the
+percentile route can differ from the mean-fastest route, and how the
+sample count trades accuracy for compute.
+
+Run with:  python examples/traffic_routing.py
+"""
+
+import numpy as np
+
+from repro.apps.traffic import (
+    FCDGenerator,
+    PTDRRouter,
+    SpeedModel,
+    TrafficSimulator,
+    build_city,
+    gravity_demand,
+)
+from repro.apps.traffic.routing import ptdr_flops
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    city = build_city(grid=8)
+    print(f"city: {city.num_nodes} intersections, "
+          f"{city.num_segments} segments")
+
+    demand = gravity_demand(city, zones=12, seed="vienna")
+    simulator = TrafficSimulator(city, demand, increments=3)
+
+    # -- simulate the day, collect FCD, train the model ---------------
+    model = SpeedModel(city)
+    generator = FCDGenerator(city, seed="fleet")
+    total_points = 0
+    congestion = {}
+    for hour in (3, 8, 12, 17, 21):
+        state = simulator.simulate_hour(hour)
+        congestion[hour] = state.congestion_index(city)
+        points = generator.generate_hour(state, vehicles=120)
+        model.train(hour, points)
+        total_points += len(points)
+    print(f"trained on {total_points} FCD probe points")
+    print("congestion index by hour: " + ", ".join(
+        f"{hour:02d}h={value:.2f}"
+        for hour, value in congestion.items()
+    ))
+    print()
+
+    # -- risk-aware routing query --------------------------------------
+    origin, destination = (0, 0), (7, 7)
+    router = PTDRRouter(city, model, percentile=0.9, seed="req")
+    choices = router.route(
+        origin, destination, depart_hour=8.0,
+        k_alternatives=3, samples=500,
+    )
+    table = Table(
+        f"PTDR alternatives {origin} -> {destination}, "
+        f"departure 08:00 (500 MC samples)",
+        ["rank", "segments", "mean s", "p90 s", "std s",
+         "P(<= 12 min)"],
+    )
+    for rank, choice in enumerate(choices):
+        table.add_row(
+            rank + 1,
+            len(choice.path) - 1,
+            round(choice.mean_s),
+            round(choice.percentile_s),
+            round(choice.std_s, 1),
+            round(choice.on_time_probability(720.0), 2),
+        )
+    table.show()
+
+    by_mean = min(choices, key=lambda c: c.mean_s)
+    by_p90 = choices[0]
+    if by_mean is not by_p90:
+        print("note: the mean-fastest route differs from the "
+              "p90-safest route — the risk-aware answer.")
+    print()
+
+    # -- accuracy vs compute: the acceleration knob --------------------
+    path = by_p90.path
+    counts = [50, 200, 1000, 5000]
+    errors = router.percentile_convergence(
+        path, 8.0, counts, reference_samples=20_000
+    )
+    table = Table(
+        "p90 estimate error vs Monte Carlo samples "
+        "(the kernel EVEREST offloads)",
+        ["samples", "p90 error s", "MFLOP/request"],
+    )
+    for count in counts:
+        table.add_row(
+            count,
+            round(errors[count], 2),
+            round(ptdr_flops(count, len(path) - 1) / 1e6, 2),
+        )
+    table.show()
+    print("server-side routing at city scale multiplies this by "
+          "thousands of concurrent requests — the PTDR kernel is "
+          "EVEREST's FPGA target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Industrial use-case substrates (paper Section VI).
+
+Three applications drive EVEREST; the paper's production data feeds
+(meteorological ensembles, Plum'air sensing, Sygic floating-car data)
+are not available offline, so each package pairs the *real algorithms*
+(plume physics, power curves, Monte Carlo routing) with synthetic
+generators reproducing the statistical structure of the inputs:
+
+* :mod:`repro.apps.weather` — weather-based renewable-energy
+  prediction for the trading market (§VI-A);
+* :mod:`repro.apps.airquality` — air-quality monitoring of industrial
+  sites (§VI-B);
+* :mod:`repro.apps.traffic` — traffic modeling for intelligent
+  transportation (§VI-C).
+"""

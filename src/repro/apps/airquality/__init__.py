@@ -1,0 +1,34 @@
+"""Air-quality monitoring of industrial sites (paper §VI-B).
+
+A Plum'air-like service: Gaussian-plume dispersion of an industrial
+site's stack emissions under forecast weather, a low-cost sensor
+network producing massive but noisy observations, and a forecast mode
+that estimates exceedance probabilities within 10 km of the sources so
+the site can delay production or activate abatement.
+"""
+
+from repro.apps.airquality.emissions import (
+    EmissionSource,
+    IndustrialSite,
+)
+from repro.apps.airquality.plume import (
+    GaussianPlume,
+    StabilityClass,
+    concentration_grid,
+)
+from repro.apps.airquality.sensors import SensorNetwork
+from repro.apps.airquality.forecast import (
+    AirQualityForecast,
+    ForecastDecision,
+)
+
+__all__ = [
+    "EmissionSource",
+    "IndustrialSite",
+    "GaussianPlume",
+    "StabilityClass",
+    "concentration_grid",
+    "SensorNetwork",
+    "AirQualityForecast",
+    "ForecastDecision",
+]

@@ -1,0 +1,33 @@
+"""Traffic modeling for intelligent transportation (paper §VI-C).
+
+The Sygic-style ecosystem: a synthetic city road network, an
+origin/destination demand matrix, a floating-car-data generator
+standing in for "millions of devices every day", a mesoscopic traffic
+simulator that "boosts the raw sensory data into rich training
+sequences", per-segment speed prediction, and probabilistic
+time-dependent routing (PTDR, [37, 41]) with Monte Carlo travel-time
+sampling.
+"""
+
+from repro.apps.traffic.road_graph import CityGraph, build_city
+from repro.apps.traffic.od_matrix import ODMatrix, gravity_demand
+from repro.apps.traffic.fcd import FCDGenerator, FCDPoint
+from repro.apps.traffic.simulator import TrafficSimulator
+from repro.apps.traffic.prediction import SpeedModel
+from repro.apps.traffic.routing import (
+    PTDRRouter,
+    RouteChoice,
+)
+
+__all__ = [
+    "CityGraph",
+    "build_city",
+    "ODMatrix",
+    "gravity_demand",
+    "FCDGenerator",
+    "FCDPoint",
+    "TrafficSimulator",
+    "SpeedModel",
+    "PTDRRouter",
+    "RouteChoice",
+]

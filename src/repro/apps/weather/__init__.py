@@ -1,0 +1,27 @@
+"""Weather-based renewable-energy prediction (paper §VI-A).
+
+Pipeline: a global-circulation surrogate produces coarse ensemble
+forecasts; downscaling raises the resolution (the paper's
+hardware-accelerated step [39, 40]); a wind-farm power model plus an
+MLP correction turn weather into day-ahead energy; the market model
+prices the imbalance between commitment and actual production.
+"""
+
+from repro.apps.weather.grid import WeatherField, synth_truth
+from repro.apps.weather.ensemble import Ensemble, generate_ensemble
+from repro.apps.weather.downscaling import downscale_field
+from repro.apps.weather.wind import WindFarm, power_curve
+from repro.apps.weather.ml import MLP
+from repro.apps.weather.market import ImbalanceMarket
+
+__all__ = [
+    "WeatherField",
+    "synth_truth",
+    "Ensemble",
+    "generate_ensemble",
+    "downscale_field",
+    "WindFarm",
+    "power_curve",
+    "MLP",
+    "ImbalanceMarket",
+]

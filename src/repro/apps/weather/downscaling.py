@@ -1,0 +1,87 @@
+"""Statistical downscaling of coarse forecasts.
+
+The EVEREST energy case "increase[s] the resolution of weather
+forecast ensembles to better predict high-localized meteorological
+variations" [39, 40]. The downscaler interpolates the coarse field to
+the target grid and re-injects calibrated small-scale variability with
+the climatological spectrum — it cannot recover the exact missing
+detail (no model can), but it removes the smoothing bias of block
+averages, which is what improves point forecasts at hub sites.
+
+This is the compute-heavy kernel of the pipeline: cost scales with
+the output grid squared, which is why the paper accelerates it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.weather.grid import WeatherField, _correlated_noise
+from repro.utils.rng import deterministic_rng
+from repro.utils.validation import check_positive
+
+
+def _bilinear_upsample(data: np.ndarray, factor: int) -> np.ndarray:
+    """Bilinear interpolation by an integer factor."""
+    ny, nx = data.shape
+    y_coords = (np.arange(ny * factor) + 0.5) / factor - 0.5
+    x_coords = (np.arange(nx * factor) + 0.5) / factor - 0.5
+    y0 = np.clip(np.floor(y_coords).astype(int), 0, ny - 1)
+    x0 = np.clip(np.floor(x_coords).astype(int), 0, nx - 1)
+    y1 = np.clip(y0 + 1, 0, ny - 1)
+    x1 = np.clip(x0 + 1, 0, nx - 1)
+    wy = np.clip(y_coords - y0, 0.0, 1.0)[:, None]
+    wx = np.clip(x_coords - x0, 0.0, 1.0)[None, :]
+    top = data[np.ix_(y0, x0)] * (1 - wx) + data[np.ix_(y0, x1)] * wx
+    bottom = data[np.ix_(y1, x0)] * (1 - wx) + data[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def downscale_field(
+    field: WeatherField,
+    target_resolution_km: float,
+    detail_amplitude: float = 0.9,
+    seed: str = "downscale",
+) -> WeatherField:
+    """Downscale to a finer grid with stochastic detail injection."""
+    check_positive("target_resolution_km", target_resolution_km)
+    factor = int(round(field.resolution_km / target_resolution_km))
+    if factor < 1 or abs(
+        field.resolution_km / factor - target_resolution_km
+    ) > 1e-9:
+        raise ValueError(
+            f"cannot downscale {field.resolution_km} km to "
+            f"{target_resolution_km} km (non-integer factor)"
+        )
+    if factor == 1:
+        return field
+    smooth = _bilinear_upsample(field.data, factor)
+    rng = deterministic_rng("downscale", seed, field.name)
+    detail = _correlated_noise(
+        smooth.shape, 15.0 / target_resolution_km, rng
+    )
+    # Calibrate the injected variance to the variance removed by the
+    # coarse representation (estimated from the smooth field's local
+    # gradients).
+    local_variability = np.abs(np.gradient(smooth)[0]) + np.abs(
+        np.gradient(smooth)[1]
+    )
+    amplitude = detail_amplitude * (
+        0.4 + 0.6 * local_variability / (local_variability.mean() + 1e-9)
+    )
+    data = np.clip(smooth + amplitude * detail, 0.0, 40.0)
+    return WeatherField(
+        name=field.name, data=data,
+        resolution_km=target_resolution_km,
+    )
+
+
+def downscaling_flops(input_cells: int, factor: int) -> float:
+    """Arithmetic cost model of one downscaling call.
+
+    Bilinear interpolation (~8 flops/output cell) plus the spectral
+    detail synthesis (two FFTs over the output grid).
+    """
+    output_cells = input_cells * factor * factor
+    fft_cost = 10.0 * output_cells * np.log2(max(output_cells, 2))
+    return 8.0 * output_cells + 2 * fft_cost

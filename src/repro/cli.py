@@ -1,0 +1,231 @@
+"""Command-line interface to the EVEREST SDK.
+
+Subcommands::
+
+    python -m repro compile  KERNELS.edsl [--strategy ...]
+    python -m repro synth    KERNELS.edsl --kernel NAME [--unroll N]
+    python -m repro explore  KERNELS.edsl --kernel NAME
+    python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
+    python -m repro info
+
+``KERNELS.edsl`` is a file of kernel-DSL source (see
+:mod:`repro.core.dsl.kernel_dsl`). The CLI is a thin veneer over the
+library API, intended for quick experiments and the examples in the
+README.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.dse.cost_model import (
+    ArchitectureModel,
+    prepare_variant_module,
+)
+from repro.core.dse.explorer import Explorer
+from repro.core.dse.space import DesignSpace
+from repro.core.dsl.kernel_dsl import compile_kernel, kernel_names
+from repro.core.variants import VariantKnobs
+from repro.utils.tables import Table
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _space_by_name(name: str) -> DesignSpace:
+    if name == "small":
+        return DesignSpace.small()
+    if name == "thorough":
+        return DesignSpace.thorough()
+    raise SystemExit(f"unknown space {name!r}; use small or thorough")
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    module = compile_kernel(source)
+    space = _space_by_name(args.space)
+    table = Table(
+        f"compilation report ({args.file})",
+        ["kernel", "points", "feasible", "front", "best latency us",
+         "best energy uJ"],
+    )
+    for name in kernel_names(source):
+        explorer = Explorer(module, name, space)
+        result = explorer.run(args.strategy)
+        best_latency = result.best_latency()
+        best_energy = result.best_energy()
+        table.add_row(
+            name,
+            result.evaluations,
+            len(result.feasible),
+            len(result.front),
+            best_latency.cost.latency_s * 1e6,
+            best_energy.cost.energy_j * 1e6,
+        )
+    table.show()
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.core.hls.bambu import HLSOptions, synthesize
+    from repro.core.hls.scheduling import ResourceBudget
+
+    source = _read_source(args.file)
+    module = compile_kernel(source)
+    knobs = VariantKnobs(
+        target="fpga", unroll=args.unroll,
+        clock_hz=args.clock_mhz * 1e6,
+    )
+    prepared = prepare_variant_module(module, args.kernel, knobs)
+    design = synthesize(
+        prepared, args.kernel,
+        HLSOptions(
+            clock_hz=args.clock_mhz * 1e6,
+            budget=ResourceBudget(
+                fadd=4 * args.unroll, fmul=4 * args.unroll,
+            ),
+        ),
+    )
+    print(design.report())
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    module = compile_kernel(source)
+    space = _space_by_name(args.space)
+    explorer = Explorer(module, args.kernel, space)
+    result = explorer.run(args.strategy)
+    table = Table(
+        f"design space of {args.kernel!r} "
+        f"({result.evaluations} points, {args.strategy})",
+        ["variant", "latency us", "energy uJ", "feasible", "on front"],
+    )
+    front_ids = {v.variant_id for v in result.front}
+    for variant in result.evaluated:
+        table.add_row(
+            variant.knobs.describe(),
+            variant.cost.latency_s * 1e6,
+            variant.cost.energy_j * 1e6,
+            variant.cost.feasible,
+            variant.variant_id in front_ids,
+        )
+    table.show()
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    module = compile_kernel(source)
+    if args.what == "ir":
+        from repro.core.ir import print_module
+
+        print(print_module(module))
+        return 0
+    knobs = (
+        VariantKnobs(target="cpu", threads=4)
+        if args.what == "sycl"
+        else VariantKnobs(target="fpga", unroll=args.unroll)
+    )
+    prepared = prepare_variant_module(module, args.kernel, knobs)
+    if args.what == "sycl":
+        from repro.core.backend.sycl_gen import generate_sycl
+
+        print(generate_sycl(prepared, args.kernel))
+    elif args.what == "rtl":
+        from repro.core.hls.bambu import HLSOptions, synthesize
+
+        design = synthesize(prepared, args.kernel, HLSOptions())
+        print(design.rtl())
+    elif args.what == "lowered-ir":
+        from repro.core.ir import print_module
+
+        print(print_module(prepared))
+    else:
+        raise SystemExit(f"unknown emit target {args.what!r}")
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    from repro.core.ir.dialects import registered_dialects
+
+    print("EVEREST SDK reproduction")
+    print("dialects:")
+    for name, dialect in sorted(registered_dialects().items()):
+        print(f"  {name:10s} {len(dialect.ops):3d} ops  "
+              f"{dialect.description}")
+    model = ArchitectureModel()
+    print(f"default target: {model.name}, "
+          f"{model.cpu.cores}x {model.cpu.name} + FPGA role "
+          f"{model.fpga_role_capacity.luts} LUTs")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="explore every kernel in a DSL file"
+    )
+    p_compile.add_argument("file")
+    p_compile.add_argument("--space", default="small")
+    p_compile.add_argument("--strategy", default="exhaustive")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_synth = sub.add_parser("synth", help="HLS report for one kernel")
+    p_synth.add_argument("file")
+    p_synth.add_argument("--kernel", required=True)
+    p_synth.add_argument("--unroll", type=int, default=4)
+    p_synth.add_argument("--clock-mhz", type=float, default=250.0)
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_explore = sub.add_parser(
+        "explore", help="design-space table for one kernel"
+    )
+    p_explore.add_argument("file")
+    p_explore.add_argument("--kernel", required=True)
+    p_explore.add_argument("--space", default="small")
+    p_explore.add_argument("--strategy", default="exhaustive")
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_emit = sub.add_parser(
+        "emit", help="print IR / SYCL / RTL for one kernel"
+    )
+    p_emit.add_argument("file")
+    p_emit.add_argument("--kernel", required=True)
+    p_emit.add_argument(
+        "--what", default="ir",
+        choices=("ir", "lowered-ir", "sycl", "rtl"),
+    )
+    p_emit.add_argument("--unroll", type=int, default=4)
+    p_emit.set_defaults(func=cmd_emit)
+
+    p_info = sub.add_parser("info", help="SDK inventory")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into head/less that exited early: not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The EVEREST compilation SDK (paper Sections II-III, Fig. 1).
+
+Subpackages:
+
+* :mod:`repro.core.dsl` — embedded DSLs: tensor-expression kernels,
+  workflow pipelines, data/security annotations.
+* :mod:`repro.core.ir` — the unified MLIR-style intermediate
+  representation with workflow/tensor/kernel/hw/secure dialects and the
+  optimization passes that produce code variants.
+* :mod:`repro.core.dse` — design-space exploration over variant knobs,
+  backed by high-level architecture cost models.
+* :mod:`repro.core.hls` — the Bambu-like high-level synthesis engine.
+* :mod:`repro.core.backend` — SYCL-like code generation, bitstream and
+  binary packaging, variant metadata for the runtime.
+* :mod:`repro.core.frontend` — import of ML exchange formats.
+* :mod:`repro.core.compiler` — the end-to-end driver tying it together.
+"""

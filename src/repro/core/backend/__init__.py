@@ -1,0 +1,18 @@
+"""Backend: code generation and artifact packaging (paper §III-B).
+
+"The backend will generate software implementation relying on
+state-of-the-art programming models (e.g. SYCL) ... Meta-information
+about the variants will be provided to the runtime system ... standard
+toolchains will be used to generate binaries and bitstreams."
+"""
+
+from repro.core.backend.sycl_gen import generate_sycl
+from repro.core.backend.binary import Artifact, SoftwareBinary
+from repro.core.backend.packaging import VariantPackage
+
+__all__ = [
+    "generate_sycl",
+    "Artifact",
+    "SoftwareBinary",
+    "VariantPackage",
+]

@@ -1,0 +1,204 @@
+"""End-to-end compilation driver (the whole of paper Fig. 1).
+
+:class:`EverestCompiler` ties the SDK together: a workflow
+:class:`~repro.core.dsl.workflow.Pipeline` goes in; out comes a
+:class:`CompiledApplication` holding the unified IR module, the
+per-kernel exploration results, and a signed
+:class:`~repro.core.backend.packaging.VariantPackage` with binaries and
+bitstreams ready for the runtime.
+
+Security annotations on pipeline sources propagate to the kernels
+consuming them (transitively through task outputs), forcing DIFT
+instrumentation on those kernels' variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.backend.binary import Artifact, SoftwareBinary
+from repro.core.backend.packaging import VariantPackage
+from repro.core.backend.sycl_gen import generate_sycl
+from repro.core.dse.cost_model import (
+    ArchitectureModel,
+    prepare_variant_module,
+)
+from repro.core.dse.explorer import ExplorationResult, Explorer
+from repro.core.dse.space import DesignSpace
+from repro.core.dsl.annotations import Sensitivity
+from repro.core.dsl.workflow import Pipeline
+from repro.core.hls.bambu import HLSOptions, synthesize
+from repro.core.hls.scheduling import ResourceBudget
+from repro.core.ir.module import Module
+from repro.core.ir.passes.partitioning import HardwarePartitioningPass
+from repro.errors import BackendError
+
+
+@dataclass
+class CompiledApplication:
+    """The compiler's output for one pipeline."""
+
+    name: str
+    module: Module
+    pipeline: Pipeline
+    exploration: Dict[str, ExplorationResult] = field(default_factory=dict)
+    package: VariantPackage = None  # type: ignore[assignment]
+    sensitive_kernels: Set[str] = field(default_factory=set)
+
+    def kernel_names(self) -> List[str]:
+        """Kernels reachable from the pipeline, in task order."""
+        return list(self.exploration)
+
+    def summary(self) -> str:
+        """Multi-line compilation report."""
+        lines = [f"application {self.name}"]
+        for kernel, result in self.exploration.items():
+            front = ", ".join(v.knobs.describe() for v in result.front)
+            marker = " [dift]" if kernel in self.sensitive_kernels else ""
+            lines.append(
+                f"  {kernel}{marker}: {result.evaluations} points, "
+                f"{len(result.front)} on front ({front})"
+            )
+        return "\n".join(lines)
+
+
+class EverestCompiler:
+    """Drives frontend → middle-end → backend for a pipeline."""
+
+    def __init__(
+        self,
+        space: Optional[DesignSpace] = None,
+        model: Optional[ArchitectureModel] = None,
+        strategy: str = "exhaustive",
+        signing_key: str = "everest-demo-key",
+        emit_artifacts: bool = True,
+    ):
+        self.space = space or DesignSpace.small()
+        self.model = model or ArchitectureModel()
+        self.strategy = strategy
+        self.signing_key = signing_key
+        self.emit_artifacts = emit_artifacts
+
+    # ------------------------------------------------------------------
+
+    def compile(self, pipeline: Pipeline) -> CompiledApplication:
+        """Compile a pipeline into variants + artifacts."""
+        module = pipeline.to_ir()
+        sensitive_kernels = self._propagate_sensitivity(module)
+        HardwarePartitioningPass().run(module)
+
+        app = CompiledApplication(
+            name=pipeline.name,
+            module=module,
+            pipeline=pipeline,
+            package=VariantPackage(
+                application=pipeline.name, signing_key=self.signing_key
+            ),
+            sensitive_kernels=sensitive_kernels,
+        )
+
+        for task in pipeline.tasks:
+            kernel = task.kernel
+            if kernel in app.exploration:
+                continue
+            space = self.space
+            if kernel in sensitive_kernels:
+                space = dataclasses.replace(space, dift_options=(True,))
+            explorer = Explorer(
+                module, kernel, space=space, model=self.model,
+                requirements=list(task.requirements)
+                + list(pipeline.requirements),
+            )
+            result = explorer.run(self.strategy)
+            app.exploration[kernel] = result
+            # Package every feasible variant: points off the Pareto
+            # front still matter at run time, when contention or data
+            # features shift the effective costs (mARGOt keeps the
+            # full operating-point list).
+            for variant in result.feasible:
+                artifact = (
+                    self._build_artifact(module, variant)
+                    if self.emit_artifacts else None
+                )
+                app.package.add_variant(variant, artifact)
+        return app
+
+    # ------------------------------------------------------------------
+
+    def _propagate_sensitivity(self, module: Module) -> Set[str]:
+        """Mark kernels consuming sensitive data; returns their names."""
+        sensitive_kernels: Set[str] = set()
+        pipeline_ops = [
+            op for op in module.body.operations
+            if op.name == "workflow.pipeline"
+        ]
+        for pipeline_op in pipeline_ops:
+            block = pipeline_op.regions[0].blocks[0]
+            tainted_values = set()
+            for op in block.operations:
+                if op.name == "workflow.source":
+                    sensitivity = op.attr("sensitivity", "public")
+                    if sensitivity not in ("public",
+                                           Sensitivity.PUBLIC.value):
+                        tainted_values.add(id(op.results[0]))
+                elif op.name == "workflow.task":
+                    tainted_indices = [
+                        index
+                        for index, operand in enumerate(op.operands)
+                        if id(operand) in tainted_values
+                    ]
+                    if tainted_indices:
+                        kernel = op.attr("kernel")
+                        function = module.find_function(kernel)
+                        if function is not None:
+                            existing = set(function.op.attr(
+                                "everest.sensitive_args", []))
+                            existing.update(tainted_indices)
+                            function.op.set_attr(
+                                "everest.sensitive_args",
+                                sorted(existing),
+                            )
+                        sensitive_kernels.add(kernel)
+                        for result in op.results:
+                            tainted_values.add(id(result))
+        return sensitive_kernels
+
+    def _build_artifact(self, module: Module, variant) -> Artifact:
+        """Generate the deployable artifact for one variant."""
+        prepared = prepare_variant_module(
+            module, variant.kernel, variant.knobs
+        )
+        if variant.knobs.target == "cpu":
+            source = generate_sycl(prepared, variant.kernel)
+            payload = SoftwareBinary(
+                name=variant.name,
+                arch="ppc64le",
+                source_text=source,
+                threads=variant.knobs.threads,
+            )
+            return Artifact(
+                variant_id=variant.variant_id,
+                kind="binary",
+                payload=payload,
+            )
+        if variant.knobs.target == "fpga":
+            options = HLSOptions(
+                clock_hz=variant.knobs.clock_hz,
+                memory_strategy=variant.knobs.memory_strategy,
+                budget=ResourceBudget(
+                    fadd=4 * variant.knobs.unroll,
+                    fmul=4 * variant.knobs.unroll,
+                ),
+                enable_dift=variant.knobs.dift or None,
+            )
+            design = synthesize(prepared, variant.kernel, options)
+            return Artifact(
+                variant_id=variant.variant_id,
+                kind="bitstream",
+                payload=design.bitstream(),
+            )
+        raise BackendError(
+            f"no artifact path for target {variant.knobs.target!r}"
+        )

@@ -1,0 +1,20 @@
+"""Design-space exploration (paper §III-B middle-end).
+
+Enumerates knob combinations, predicts their cost with high-level
+architecture models (cf. [23-26]) and returns the Pareto-optimal
+variant set exposed to the runtime.
+"""
+
+from repro.core.dse.space import DesignSpace
+from repro.core.dse.cost_model import ArchitectureModel, evaluate_variant
+from repro.core.dse.pareto import pareto_front
+from repro.core.dse.explorer import Explorer, ExplorationResult
+
+__all__ = [
+    "DesignSpace",
+    "ArchitectureModel",
+    "evaluate_variant",
+    "pareto_front",
+    "Explorer",
+    "ExplorationResult",
+]

@@ -1,0 +1,246 @@
+"""High-level architecture cost models for variant evaluation.
+
+The middle-end "relies on high-level architecture models and
+simulators to explore the design space" (paper §III-B, [23-26]).
+:class:`ArchitectureModel` captures one target node (CPU + optional
+FPGA + attachment link); :func:`evaluate_variant` predicts latency,
+energy and resource footprint of a knob assignment by actually running
+the knob-specific compilation (tiling, lowering, directives) and HLS on
+a clone of the kernel — the estimation feedback loop of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.hls.bambu import HLSOptions, synthesize
+from repro.core.hls.scheduling import ResourceBudget
+from repro.core.ir.module import Module
+from repro.core.ir.passes import (
+    CanonicalizePass,
+    DataLayoutPass,
+    ElementwiseFusionPass,
+    LoopDirectivesPass,
+    LowerTensorPass,
+    PassManager,
+    SecurityInstrumentationPass,
+    TilingPass,
+)
+from repro.core.ir.passes.partitioning import estimate_work
+from repro.core.ir.types import MemRefType, TensorType
+from repro.core.variants import CostEstimate, VariantKnobs
+from repro.errors import DSEError, HLSError, SchedulingError
+from repro.platform.interconnect import Link, OpenCAPILink
+from repro.platform.resources import CPUDescription, FPGAResources
+
+
+@dataclass
+class ArchitectureModel:
+    """One candidate execution target for cost prediction."""
+
+    name: str = "power9+capi-fpga"
+    cpu: CPUDescription = None  # type: ignore[assignment]
+    fpga_role_capacity: Optional[FPGAResources] = None
+    fpga_link: Optional[Link] = None
+    host_memory_bandwidth: float = 120e9
+    base_clock_hz: float = 400e6
+    parallel_fraction: float = 0.95
+    cpu_efficiency: float = 0.15
+    software_dift_slowdown: float = 2.1
+
+    def __post_init__(self):
+        if self.cpu is None:
+            self.cpu = CPUDescription(
+                name="POWER9", cores=16, frequency_hz=3.1e9,
+                flops_per_cycle=8.0, tdp_watts=190.0, idle_watts=60.0,
+            )
+        if self.fpga_role_capacity is None:
+            self.fpga_role_capacity = FPGAResources(
+                luts=520_000, ffs=1_040_000, bram_kb=35_000, dsps=3_300
+            )
+        if self.fpga_link is None:
+            self.fpga_link = OpenCAPILink()
+
+    def achievable_clock(self, resources: FPGAResources) -> float:
+        """Timing de-rating: denser designs close at lower clocks."""
+        density = resources.luts / max(self.fpga_role_capacity.luts, 1)
+        return self.base_clock_hz / (1.0 + 1.5 * density)
+
+
+_PREPARED_CACHE: Dict[Tuple[int, VariantKnobs], Module] = {}
+
+
+def prepare_variant_module(
+    module: Module, kernel: str, knobs: VariantKnobs
+) -> Module:
+    """Clone the tensor-form module and apply the knob's passes."""
+    cache_key = (id(module), kernel, knobs)
+    cached = _PREPARED_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    clone = module.clone()
+    manager = PassManager(verify_each=False)
+    manager.add(ElementwiseFusionPass())
+    if knobs.matmul_order != "ijk":
+        from repro.core.ir.passes import MatmulLoopOrderPass
+
+        manager.add(MatmulLoopOrderPass(knobs.matmul_order))
+    if knobs.tile:
+        manager.add(TilingPass(
+            tile_sizes=(knobs.tile, knobs.tile, knobs.tile)))
+    if knobs.layout in ("aos", "soa"):
+        manager.add(DataLayoutPass(knobs.layout))
+    if knobs.dift:
+        manager.add(SecurityInstrumentationPass())
+    manager.add(LowerTensorPass())
+    if knobs.target == "fpga":
+        manager.add(LoopDirectivesPass(unroll_factor=knobs.unroll))
+        if knobs.interleave > 1:
+            from repro.core.ir.passes import (
+                AccumulationInterleavePass,
+            )
+
+            manager.add(AccumulationInterleavePass(knobs.interleave))
+    manager.add(CanonicalizePass())
+    manager.run(clone)
+    _PREPARED_CACHE[cache_key] = clone
+    return clone
+
+
+def evaluate_variant(
+    module: Module,
+    kernel: str,
+    knobs: VariantKnobs,
+    model: Optional[ArchitectureModel] = None,
+) -> CostEstimate:
+    """Predict the cost of one knob assignment on one architecture.
+
+    ``module`` must hold the kernel in tensor form (pre-lowering).
+    """
+    model = model or ArchitectureModel()
+    function = module.find_function(kernel)
+    if function is None:
+        raise DSEError(f"no kernel named {kernel!r}")
+
+    if knobs.target == "cpu":
+        return _evaluate_cpu(module, kernel, knobs, model)
+    if knobs.target == "fpga":
+        return _evaluate_fpga(module, kernel, knobs, model)
+    raise DSEError(f"cost model does not support target {knobs.target!r}")
+
+
+def _data_bytes(function) -> int:
+    total = 0
+    for declared in function.type.inputs + function.type.results:
+        if isinstance(declared, (TensorType, MemRefType)):
+            total += declared.size_bytes
+    return total
+
+
+def _evaluate_cpu(
+    module: Module, kernel: str, knobs: VariantKnobs,
+    model: ArchitectureModel,
+) -> CostEstimate:
+    function = module.find_function(kernel)
+    work, _ = estimate_work(function)
+    data_bytes = _data_bytes(function)
+
+    efficiency = model.cpu_efficiency
+    if knobs.tile:
+        efficiency *= 1.6  # blocked working set stays in cache
+    if knobs.layout == "soa":
+        efficiency *= 1.15  # unit-stride vectorizable streams
+    efficiency = min(efficiency, 0.6)
+
+    threads = max(1, min(knobs.threads, model.cpu.cores))
+    serial = 1.0 - model.parallel_fraction
+    speedup = 1.0 / (serial + model.parallel_fraction / threads)
+
+    # One thread sustains one core's throughput; additional threads
+    # scale it by the Amdahl speedup up to the chip's core count.
+    per_core_flops = (
+        model.cpu.frequency_hz * model.cpu.flops_per_cycle
+    )
+    compute_s = work / (per_core_flops * efficiency * speedup)
+    memory_s = data_bytes / model.host_memory_bandwidth
+    latency = max(compute_s, memory_s) + 2e-6  # dispatch overhead
+    if knobs.dift:
+        latency *= model.software_dift_slowdown
+
+    active_fraction = threads / model.cpu.cores
+    power = model.cpu.idle_watts + (
+        model.cpu.tdp_watts - model.cpu.idle_watts) * active_fraction
+    energy = power * latency
+    return CostEstimate(
+        latency_s=latency,
+        energy_j=energy,
+        data_bytes=data_bytes,
+        feasible=True,
+    )
+
+
+def _evaluate_fpga(
+    module: Module, kernel: str, knobs: VariantKnobs,
+    model: ArchitectureModel,
+) -> CostEstimate:
+    if model.fpga_role_capacity is None or model.fpga_link is None:
+        return CostEstimate(
+            latency_s=float("inf"), energy_j=float("inf"),
+            feasible=False, infeasible_reason="no FPGA on this node",
+        )
+    prepared = prepare_variant_module(module, kernel, knobs)
+    options = HLSOptions(
+        clock_hz=knobs.clock_hz,
+        memory_strategy=knobs.memory_strategy,
+        budget=ResourceBudget(
+            fadd=4 * knobs.unroll, fmul=4 * knobs.unroll,
+        ),
+        enable_dift=knobs.dift or None,
+    )
+    try:
+        design = synthesize(prepared, kernel, options)
+    except (HLSError, SchedulingError) as exc:
+        return CostEstimate(
+            latency_s=float("inf"), energy_j=float("inf"),
+            feasible=False, infeasible_reason=str(exc),
+        )
+
+    if not design.resources.fits_in(model.fpga_role_capacity):
+        return CostEstimate(
+            latency_s=float("inf"), energy_j=float("inf"),
+            resources=design.resources, feasible=False,
+            infeasible_reason="design exceeds role capacity",
+        )
+    achievable = model.achievable_clock(design.resources)
+    if knobs.clock_hz > achievable:
+        return CostEstimate(
+            latency_s=float("inf"), energy_j=float("inf"),
+            resources=design.resources, feasible=False,
+            infeasible_reason=(
+                f"timing: requested {knobs.clock_hz / 1e6:.0f} MHz, "
+                f"achievable {achievable / 1e6:.0f} MHz"
+            ),
+        )
+
+    data_bytes = design.data_bytes()
+    transfer_j = model.fpga_link.transfer_energy(data_bytes)
+    if model.fpga_link.coherent:
+        # Coherent attachment streams operands on demand: transfer
+        # overlaps the pipeline, so the invocation is bound by the
+        # slower of compute and link bandwidth, plus one link latency.
+        stream_s = data_bytes / model.fpga_link.bandwidth
+        latency = max(design.latency_seconds, stream_s) + \
+            model.fpga_link.latency_s
+    else:
+        # Non-coherent: explicit staging copies before/after compute.
+        transfer_s = model.fpga_link.transfer_time(data_bytes)
+        latency = design.latency_seconds + transfer_s
+    energy = design.energy_per_invocation + transfer_j
+    return CostEstimate(
+        latency_s=latency,
+        energy_j=energy,
+        resources=design.resources,
+        data_bytes=data_bytes,
+        feasible=True,
+    )

@@ -1,0 +1,191 @@
+"""Design-space exploration strategies.
+
+Three searchers over :class:`~repro.core.dse.space.DesignSpace`:
+
+* ``exhaustive`` — evaluate every point (the default; spaces here are
+  small enough);
+* ``random`` — sample a budgeted subset;
+* ``evolutionary`` — (mu+lambda) mutation search using single-knob
+  neighborhoods, for the ablation benchmark comparing strategies.
+
+All return an :class:`ExplorationResult` with every evaluated variant
+and the Pareto front, and honor non-functional requirements by marking
+variants that violate them infeasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.dsl.annotations import Requirement, RequirementKind
+from repro.core.dse.cost_model import (
+    ArchitectureModel,
+    evaluate_variant,
+)
+from repro.core.dse.pareto import pareto_front
+from repro.core.dse.space import DesignSpace, neighborhood
+from repro.core.ir.module import Module
+from repro.core.variants import Variant, VariantKnobs
+from repro.errors import DSEError
+from repro.utils.rng import deterministic_rng
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the explorer produced for one kernel."""
+
+    kernel: str
+    evaluated: List[Variant] = field(default_factory=list)
+    front: List[Variant] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def feasible(self) -> List[Variant]:
+        """All feasible evaluated variants."""
+        return [v for v in self.evaluated if v.cost.feasible]
+
+    def best_latency(self) -> Variant:
+        """Fastest feasible variant."""
+        candidates = self.feasible
+        if not candidates:
+            raise DSEError(f"kernel {self.kernel!r}: no feasible variant")
+        return min(candidates, key=lambda v: v.cost.latency_s)
+
+    def best_energy(self) -> Variant:
+        """Most energy-frugal feasible variant."""
+        candidates = self.feasible
+        if not candidates:
+            raise DSEError(f"kernel {self.kernel!r}: no feasible variant")
+        return min(candidates, key=lambda v: v.cost.energy_j)
+
+
+class Explorer:
+    """Runs one exploration strategy for one kernel."""
+
+    def __init__(
+        self,
+        module: Module,
+        kernel: str,
+        space: Optional[DesignSpace] = None,
+        model: Optional[ArchitectureModel] = None,
+        requirements: Optional[Sequence[Requirement]] = None,
+    ):
+        self.module = module
+        self.kernel = kernel
+        self.space = space or DesignSpace.small()
+        self.model = model or ArchitectureModel()
+        self.requirements = list(requirements or [])
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, knobs: VariantKnobs) -> Variant:
+        cost = evaluate_variant(self.module, self.kernel, knobs,
+                                self.model)
+        if cost.feasible:
+            for requirement in self.requirements:
+                measured = self._measure_for(requirement, cost)
+                if measured is not None and not requirement.satisfied_by(
+                    measured
+                ):
+                    cost.feasible = False
+                    cost.infeasible_reason = (
+                        f"violates {requirement.kind.value} "
+                        f"requirement ({measured:.3g} vs "
+                        f"{requirement.value:.3g})"
+                    )
+                    break
+        return Variant(kernel=self.kernel, knobs=knobs, cost=cost)
+
+    @staticmethod
+    def _measure_for(requirement: Requirement, cost) -> Optional[float]:
+        if requirement.kind in (RequirementKind.LATENCY,
+                                RequirementKind.DEADLINE):
+            return cost.latency_s
+        if requirement.kind is RequirementKind.ENERGY:
+            return cost.energy_j
+        if requirement.kind is RequirementKind.THROUGHPUT:
+            return 1.0 / max(cost.latency_s, 1e-30)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def exhaustive(self) -> ExplorationResult:
+        """Evaluate every point of the space."""
+        result = ExplorationResult(kernel=self.kernel)
+        for knobs in self.space.points():
+            result.evaluated.append(self._evaluate(knobs))
+            result.evaluations += 1
+        result.front = pareto_front(result.evaluated)
+        return result
+
+    def random(self, budget: int = 16, seed: str = "dse"
+               ) -> ExplorationResult:
+        """Sample ``budget`` distinct points uniformly."""
+        points = list(self.space.points())
+        rng = deterministic_rng("dse-random", seed, self.kernel)
+        count = min(budget, len(points))
+        chosen = rng.choice(len(points), size=count, replace=False)
+        result = ExplorationResult(kernel=self.kernel)
+        for index in chosen:
+            result.evaluated.append(self._evaluate(points[int(index)]))
+            result.evaluations += 1
+        result.front = pareto_front(result.evaluated)
+        return result
+
+    def evolutionary(
+        self,
+        budget: int = 24,
+        population: int = 4,
+        seed: str = "dse",
+    ) -> ExplorationResult:
+        """(mu+lambda) single-knob-mutation search."""
+        points = list(self.space.points())
+        rng = deterministic_rng("dse-evo", seed, self.kernel)
+        result = ExplorationResult(kernel=self.kernel)
+        seen = set()
+
+        def evaluate(knobs: VariantKnobs) -> Variant:
+            variant = self._evaluate(knobs)
+            result.evaluated.append(variant)
+            result.evaluations += 1
+            seen.add(knobs)
+            return variant
+
+        initial_indices = rng.choice(
+            len(points), size=min(population, len(points)), replace=False
+        )
+        parents = [evaluate(points[int(i)]) for i in initial_indices]
+
+        while result.evaluations < budget:
+            parents.sort(key=lambda v: (
+                not v.cost.feasible, v.cost.latency_s * v.cost.energy_j
+            ))
+            parents = parents[:population]
+            parent = parents[int(rng.integers(len(parents)))]
+            neighbors = [
+                knobs for knobs in neighborhood(parent.knobs, self.space)
+                if knobs not in seen
+            ]
+            if not neighbors:
+                remaining = [p for p in points if p not in seen]
+                if not remaining:
+                    break
+                choice = remaining[int(rng.integers(len(remaining)))]
+            else:
+                choice = neighbors[int(rng.integers(len(neighbors)))]
+            parents.append(evaluate(choice))
+
+        result.front = pareto_front(result.evaluated)
+        return result
+
+    def run(self, strategy: str = "exhaustive", **kwargs
+            ) -> ExplorationResult:
+        """Dispatch by strategy name."""
+        if strategy == "exhaustive":
+            return self.exhaustive()
+        if strategy == "random":
+            return self.random(**kwargs)
+        if strategy == "evolutionary":
+            return self.evolutionary(**kwargs)
+        raise DSEError(f"unknown exploration strategy {strategy!r}")

@@ -1,0 +1,91 @@
+"""Pareto-front utilities over variant cost estimates."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.variants import Variant
+
+
+def pareto_front(variants: Sequence[Variant]) -> List[Variant]:
+    """Feasible, non-dominated variants on (latency, energy).
+
+    Stable: preserves input order among the survivors.
+    """
+    feasible = [v for v in variants if v.cost.feasible]
+    front: List[Variant] = []
+    for candidate in feasible:
+        dominated = any(
+            other.cost.dominates(candidate.cost)
+            for other in feasible
+            if other is not candidate
+        )
+        if not dominated:
+            front.append(candidate)
+    return _dedupe_by_cost(front)
+
+
+def _dedupe_by_cost(variants: List[Variant]) -> List[Variant]:
+    seen: set = set()
+    unique: List[Variant] = []
+    for variant in variants:
+        key = (round(variant.cost.latency_s, 12),
+               round(variant.cost.energy_j, 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(variant)
+    return unique
+
+
+def hypervolume_2d(
+    variants: Sequence[Variant],
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated hypervolume against a (latency, energy) reference.
+
+    Standard 2-D sweep: sort by latency and accumulate rectangles.
+    Larger is better; used to compare exploration strategies.
+    """
+    front = pareto_front(list(variants))
+    points = sorted(
+        (v.cost.latency_s, v.cost.energy_j)
+        for v in front
+        if v.cost.latency_s <= reference[0]
+        and v.cost.energy_j <= reference[1]
+    )
+    volume = 0.0
+    previous_energy = reference[1]
+    for latency, energy in points:
+        if energy < previous_energy:
+            volume += (reference[0] - latency) * (previous_energy - energy)
+            previous_energy = energy
+    return volume
+
+
+def knee_point(variants: Sequence[Variant]) -> Variant:
+    """The balanced variant: minimal normalized distance to utopia."""
+    front = pareto_front(list(variants))
+    if not front:
+        raise ValueError("no feasible variants")
+    min_latency = min(v.cost.latency_s for v in front)
+    max_latency = max(v.cost.latency_s for v in front)
+    min_energy = min(v.cost.energy_j for v in front)
+    max_energy = max(v.cost.energy_j for v in front)
+
+    def distance(variant: Variant) -> float:
+        latency_span = max(max_latency - min_latency, 1e-30)
+        energy_span = max(max_energy - min_energy, 1e-30)
+        dl = (variant.cost.latency_s - min_latency) / latency_span
+        de = (variant.cost.energy_j - min_energy) / energy_span
+        return dl * dl + de * de
+
+    return min(front, key=distance)
+
+
+def best_by(variants: Sequence[Variant],
+            key: Callable[[Variant], float]) -> Variant:
+    """Feasible variant minimizing an arbitrary objective."""
+    feasible = [v for v in variants if v.cost.feasible]
+    if not feasible:
+        raise ValueError("no feasible variants")
+    return min(feasible, key=key)

@@ -1,0 +1,154 @@
+"""Application annotations: data characteristics, NFRs, security.
+
+These carry the "extra characteristics of the algorithms and data"
+(paper §I) from the application expert to the compiler and runtime:
+
+* :class:`DataAnnotation` describes a dataset or stream — volume,
+  velocity, locality — and drives placement and memory customization;
+* :class:`Requirement` is a non-functional target (latency bound,
+  throughput floor, energy budget) checked by the DSE and runtime;
+* :class:`SecurityAnnotation` marks confidentiality/integrity needs
+  that the security passes and the data-protection layer enforce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SpecificationError
+from repro.utils.validation import check_positive
+
+
+class Locality(enum.Enum):
+    """Where the data naturally lives (paper Fig. 3 tiers)."""
+
+    ENDPOINT = "endpoint"
+    EDGE = "edge"
+    CLOUD = "cloud"
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class DataAnnotation:
+    """Characteristics of a dataset or stream."""
+
+    name: str
+    volume_bytes: int = 0
+    velocity_bytes_per_s: float = 0.0
+    locality: Locality = Locality.ANY
+    access_pattern: str = "sequential"  # sequential | strided | random
+    record_layout: Optional[str] = None  # None | "aos" | "soa"
+
+    def __post_init__(self):
+        if self.volume_bytes < 0:
+            raise SpecificationError("volume_bytes must be non-negative")
+        if self.velocity_bytes_per_s < 0:
+            raise SpecificationError("velocity must be non-negative")
+        if self.access_pattern not in ("sequential", "strided", "random"):
+            raise SpecificationError(
+                f"unknown access pattern {self.access_pattern!r}"
+            )
+        if self.record_layout not in (None, "aos", "soa"):
+            raise SpecificationError(
+                f"unknown record layout {self.record_layout!r}"
+            )
+
+    @property
+    def is_streaming(self) -> bool:
+        """True when data arrives continuously rather than at rest."""
+        return self.velocity_bytes_per_s > 0
+
+
+class RequirementKind(enum.Enum):
+    """What the requirement bounds."""
+
+    LATENCY = "latency"  # seconds, upper bound
+    THROUGHPUT = "throughput"  # items/second, lower bound
+    ENERGY = "energy"  # joules per invocation, upper bound
+    DEADLINE = "deadline"  # seconds for the whole pipeline, upper bound
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """A non-functional requirement with a numeric target."""
+
+    kind: RequirementKind
+    value: float
+    scope: str = ""  # kernel or pipeline name; empty = whole application
+
+    def __post_init__(self):
+        check_positive("requirement value", self.value)
+
+    def satisfied_by(self, measured: float) -> bool:
+        """Check a measurement against the bound direction."""
+        if self.kind is RequirementKind.THROUGHPUT:
+            return measured >= self.value
+        return measured <= self.value
+
+
+class Sensitivity(enum.Enum):
+    """Confidentiality level of a piece of data."""
+
+    PUBLIC = "public"
+    INTERNAL = "internal"
+    CONFIDENTIAL = "confidential"
+    SECRET = "secret"
+
+
+@dataclass(frozen=True)
+class SecurityAnnotation:
+    """Protection needs for a dataset flowing through the pipeline."""
+
+    sensitivity: Sensitivity = Sensitivity.PUBLIC
+    integrity: bool = False
+    encrypt_at_rest: bool = False
+    encrypt_in_transit: bool = False
+    cipher: str = "aes128-gcm"
+
+    @property
+    def needs_protection(self) -> bool:
+        """True when any protection mechanism must be engaged."""
+        return (
+            self.sensitivity is not Sensitivity.PUBLIC
+            or self.integrity
+            or self.encrypt_at_rest
+            or self.encrypt_in_transit
+        )
+
+    @property
+    def needs_dift(self) -> bool:
+        """True when information flow tracking is warranted."""
+        return self.sensitivity in (
+            Sensitivity.CONFIDENTIAL, Sensitivity.SECRET
+        )
+
+
+@dataclass
+class AnnotationSet:
+    """Bundle of annotations attached to a kernel or pipeline stage."""
+
+    data: Dict[str, DataAnnotation] = field(default_factory=dict)
+    requirements: list = field(default_factory=list)
+    security: Dict[str, SecurityAnnotation] = field(default_factory=dict)
+
+    def add_data(self, annotation: DataAnnotation) -> None:
+        """Attach a data annotation keyed by its dataset name."""
+        self.data[annotation.name] = annotation
+
+    def add_requirement(self, requirement: Requirement) -> None:
+        """Attach a non-functional requirement."""
+        self.requirements.append(requirement)
+
+    def add_security(self, name: str,
+                     annotation: SecurityAnnotation) -> None:
+        """Attach a security annotation for a named dataset."""
+        self.security[name] = annotation
+
+    def sensitive_names(self) -> list:
+        """Dataset names that require information flow tracking."""
+        return sorted(
+            name for name, annotation in self.security.items()
+            if annotation.needs_dift
+        )

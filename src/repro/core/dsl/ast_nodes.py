@@ -1,0 +1,112 @@
+"""Abstract syntax tree for the kernel DSL.
+
+Nodes carry an optional ``type`` slot filled in by the type checker
+(:mod:`repro.core.dsl.typecheck`) before IR generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.ir.types import Type
+
+
+@dataclass
+class Node:
+    """Base AST node with source position."""
+
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class Expr(Node):
+    """Base expression; ``type`` is set by the type checker."""
+
+    type: Optional[Type] = field(default=None, compare=False)
+
+
+@dataclass
+class NumberLiteral(Expr):
+    """A numeric literal (broadcast against tensors when needed)."""
+
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    """Reference to a parameter or a previously assigned name."""
+
+    name: str = ""
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Infix arithmetic: + - * / and @ (matmul)."""
+
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Prefix negation."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """Builtin function call with optional keyword int-list arguments."""
+
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+    int_lists: dict = field(default_factory=dict)  # kw -> List[int]
+
+
+@dataclass
+class Param(Node):
+    """A kernel parameter with optional ``@annotation`` markers."""
+
+    name: str = ""
+    declared_type: Optional[Type] = None
+    annotations: Tuple[str, ...] = ()
+
+    @property
+    def sensitive(self) -> bool:
+        """True when the parameter carries ``@sensitive``."""
+        return "sensitive" in self.annotations
+
+
+@dataclass
+class Assignment(Node):
+    """``name = expr``."""
+
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Return(Node):
+    """``return expr, ...``."""
+
+    values: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class KernelDecl(Node):
+    """A full kernel definition."""
+
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    result_types: List[Type] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A compilation unit: one or more kernels."""
+
+    kernels: List[KernelDecl] = field(default_factory=list)

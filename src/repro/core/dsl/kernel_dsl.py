@@ -1,0 +1,198 @@
+"""Kernel DSL driver: parse, type check and emit tensor-dialect IR.
+
+The public entry points:
+
+* :func:`parse_kernel` — source → type-checked AST program;
+* :func:`compile_kernel` — source → IR :class:`Module` with one
+  tensor-form function per kernel, sensitive parameters recorded in the
+  ``everest.sensitive_args`` attribute for the security pass.
+
+Example::
+
+    module = compile_kernel('''
+        kernel dense(A: tensor<64x32xf32>, W: tensor<32x16xf32>,
+                     B: tensor<64x16xf32> @sensitive) -> tensor<64x16xf32> {
+            H = relu(A @ W + B)
+            return H
+        }
+    ''')
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.dsl import ast_nodes as ast
+from repro.core.dsl.parser import parse
+from repro.core.dsl.typecheck import check_program
+from repro.core.ir.builder import Builder
+from repro.core.ir.module import Module
+from repro.core.ir.ops import Value
+from repro.core.ir.types import (
+    FunctionType,
+    ScalarType,
+    TensorType,
+)
+from repro.core.ir.verifier import verify
+from repro.errors import SpecificationError
+
+_UNARY_OPS = {
+    "relu": "relu", "exp": "exp", "sqrt": "sqrt",
+    "tanh": "tanh", "sigmoid": "sigmoid", "neg": "neg",
+}
+_BINARY_OPS = {"maximum": "maximum", "minimum": "minimum"}
+_REDUCE_OPS = {"sum": "sum", "mean": "mean", "rmax": "max", "rmin": "min"}
+_INFIX_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+_SCALAR_INFIX = {"+": "addf", "-": "subf", "*": "mulf", "/": "divf"}
+
+
+def parse_kernel(source: str) -> ast.Program:
+    """Parse and type check DSL source."""
+    program = parse(source)
+    check_program(program)
+    return program
+
+
+def compile_kernel(source: str, module_name: str = "kernels") -> Module:
+    """Compile DSL source into a verified tensor-form IR module."""
+    program = parse_kernel(source)
+    module = Module(module_name)
+    for kernel in program.kernels:
+        _KernelCodegen(module, kernel).emit()
+    verify(module)
+    return module
+
+
+class _KernelCodegen:
+    """Emits one kernel as a tensor-dialect function."""
+
+    def __init__(self, module: Module, kernel: ast.KernelDecl):
+        self.module = module
+        self.kernel = kernel
+        self.builder = Builder()
+        self.values: Dict[str, Value] = {}
+
+    def emit(self) -> None:
+        kernel = self.kernel
+        input_types = tuple(param.declared_type for param in kernel.params)
+        function_type = FunctionType(
+            input_types, tuple(kernel.result_types)
+        )
+        sensitive = [
+            index for index, param in enumerate(kernel.params)
+            if param.sensitive
+        ]
+        attributes = {}
+        if sensitive:
+            attributes["everest.sensitive_args"] = sensitive
+        function = self.module.add_function(
+            kernel.name, function_type, attributes=attributes
+        )
+        self.builder.set_insertion_point(function.entry_block)
+        for param, argument in zip(kernel.params, function.arguments):
+            self.values[param.name] = argument
+
+        for statement in kernel.body:
+            if isinstance(statement, ast.Assignment):
+                self.values[statement.name] = self._emit_expr(
+                    statement.value
+                )
+            elif isinstance(statement, ast.Return):
+                results = [self._emit_expr(v) for v in statement.values]
+                self.builder.ret(results)
+
+    # ------------------------------------------------------------------
+
+    def _emit_expr(self, expr: Optional[ast.Expr]) -> Value:
+        if expr is None:
+            raise SpecificationError("internal: missing expression")
+        if isinstance(expr, ast.NumberLiteral):
+            return self.builder.const(expr.value, ScalarType("f32"))
+        if isinstance(expr, ast.VarRef):
+            return self.values[expr.name]
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._emit_expr(expr.operand)
+            if isinstance(expr.type, TensorType):
+                return self.builder.tensor_op("neg", [operand], expr.type)
+            return self.builder.unary("negf", operand)
+        if isinstance(expr, ast.BinaryOp):
+            return self._emit_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._emit_call(expr)
+        raise SpecificationError(f"unknown expression node {expr!r}")
+
+    def _broadcast(self, value: Value, target: TensorType) -> Value:
+        """Splat a scalar value to a tensor type."""
+        return self.builder.tensor_op("splat", [value], target)
+
+    def _emit_binary(self, expr: ast.BinaryOp) -> Value:
+        lhs = self._emit_expr(expr.lhs)
+        rhs = self._emit_expr(expr.rhs)
+        if expr.op == "@":
+            return self.builder.matmul(lhs, rhs)
+        result_type = expr.type
+        if isinstance(result_type, TensorType):
+            if isinstance(lhs.type, ScalarType):
+                lhs = self._broadcast(lhs, result_type)
+            if isinstance(rhs.type, ScalarType):
+                rhs = self._broadcast(rhs, result_type)
+            return self.builder.tensor_op(
+                _INFIX_OPS[expr.op], [lhs, rhs], result_type
+            )
+        return self.builder._binary(
+            f"kernel.{_SCALAR_INFIX[expr.op]}", lhs, rhs
+        )
+
+    def _emit_call(self, expr: ast.Call) -> Value:
+        callee = expr.callee
+        result_type = expr.type
+        if callee in _UNARY_OPS:
+            operand = self._emit_expr(expr.args[0])
+            return self.builder.tensor_op(
+                _UNARY_OPS[callee], [operand], result_type
+            )
+        if callee in _BINARY_OPS:
+            lhs = self._emit_expr(expr.args[0])
+            rhs = self._emit_expr(expr.args[1])
+            return self.builder.tensor_op(
+                _BINARY_OPS[callee], [lhs, rhs], result_type
+            )
+        if callee in _REDUCE_OPS:
+            operand = self._emit_expr(expr.args[0])
+            return self.builder.tensor_op(
+                "reduce",
+                [operand],
+                result_type,
+                attributes={
+                    "axes": list(expr.int_lists["axes"]),
+                    "kind": _REDUCE_OPS[callee],
+                },
+            )
+        if callee == "transpose":
+            operand = self._emit_expr(expr.args[0])
+            return self.builder.tensor_op(
+                "transpose",
+                [operand],
+                result_type,
+                attributes={"permutation": list(expr.int_lists["perm"])},
+            )
+        if callee == "reshape":
+            operand = self._emit_expr(expr.args[0])
+            return self.builder.tensor_op(
+                "reshape", [operand], result_type
+            )
+        if callee == "fill":
+            literal = expr.args[0]
+            assert isinstance(literal, ast.NumberLiteral)
+            return self.builder.tensor_op(
+                "constant",
+                [],
+                result_type,
+                attributes={"value": literal.value},
+            )
+        raise SpecificationError(f"unknown builtin {callee!r}")
+
+
+def kernel_names(source: str) -> List[str]:
+    """Names of the kernels defined in a DSL source string."""
+    return [kernel.name for kernel in parse(source).kernels]

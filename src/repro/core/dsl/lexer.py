@@ -1,0 +1,164 @@
+"""Tokenizer for the kernel DSL.
+
+Hand-written scanner producing a flat token stream. Tensor type
+literals (``tensor<16x16xf32>``) are scanned as a single token so the
+parser does not have to reassemble dimension lists from ``<``/``x``
+fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+
+KEYWORDS = {"kernel", "return"}
+SCALAR_TYPES = {"f32", "f64", "i32", "i64"}
+
+# token kinds
+ID = "ID"
+NUMBER = "NUMBER"
+TENSORTYPE = "TENSORTYPE"
+KEYWORD = "KEYWORD"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+_SYMBOLS = (
+    "->", "@", "+", "-", "*", "/", "(", ")", "{", "}", "[", "]",
+    ",", "=", ":", "<", ">",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class Lexer:
+    """Scans DSL source into tokens."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position:self.position + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def tokens(self) -> List[Token]:
+        """Scan the whole source."""
+        result: List[Token] = []
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "#":
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+                continue
+            line, column = self.line, self.column
+            if char.isalpha() or char == "_":
+                word = self._scan_word()
+                if word == "tensor" and self._peek() == "<":
+                    raw = self._scan_tensor_type()
+                    result.append(
+                        Token(TENSORTYPE, f"tensor{raw}", line, column)
+                    )
+                elif word in KEYWORDS:
+                    result.append(Token(KEYWORD, word, line, column))
+                else:
+                    result.append(Token(ID, word, line, column))
+                continue
+            if char.isdigit() or (
+                char == "." and self._peek(1).isdigit()
+            ):
+                result.append(Token(NUMBER, self._scan_number(),
+                                    line, column))
+                continue
+            symbol = self._scan_symbol()
+            result.append(Token(SYMBOL, symbol, line, column))
+        result.append(Token(EOF, "", self.line, self.column))
+        return result
+
+    def _scan_word(self) -> str:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        return self.source[start:self.position]
+
+    def _scan_number(self) -> str:
+        start = self.position
+        seen_dot = False
+        seen_exp = False
+        while True:
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and not seen_exp and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                seen_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        return self.source[start:self.position]
+
+    def _scan_tensor_type(self) -> str:
+        if self._peek() != "<":
+            raise self._error("expected '<' after 'tensor'")
+        start = self.position
+        depth = 0
+        while self.position < len(self.source):
+            char = self._peek()
+            self._advance()
+            if char == "<":
+                depth += 1
+            elif char == ">":
+                depth -= 1
+                if depth == 0:
+                    return self.source[start:self.position]
+        raise self._error("unterminated tensor type literal")
+
+    def _scan_symbol(self) -> str:
+        for symbol in _SYMBOLS:
+            if self.source.startswith(symbol, self.position):
+                self._advance(len(symbol))
+                return symbol
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan source into a token list ending in EOF."""
+    return Lexer(source).tokens()

@@ -1,0 +1,291 @@
+"""Recursive-descent parser for the kernel DSL.
+
+Grammar (informal)::
+
+    program    := kernel+
+    kernel     := 'kernel' ID '(' [param {',' param}] ')'
+                  '->' type {',' type} '{' stmt* '}'
+    param      := ID ':' type {'@' ID}
+    type       := TENSORTYPE | scalar-name
+    stmt       := ID '=' expr | 'return' expr {',' expr}
+    expr       := add
+    add        := mul {('+'|'-') mul}
+    mul        := mat {('*'|'/') mat}
+    mat        := unary {'@' unary}
+    unary      := '-' unary | primary
+    primary    := NUMBER | ID ['(' call-args ')'] | '(' expr ')'
+    call-args  := [expr {',' expr}] {',' ID '=' '[' INT {',' INT} ']'}
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.core.dsl import ast_nodes as ast
+from repro.core.dsl.lexer import (
+    EOF,
+    ID,
+    KEYWORD,
+    NUMBER,
+    SCALAR_TYPES,
+    SYMBOL,
+    TENSORTYPE,
+    Token,
+    tokenize,
+)
+from repro.core.ir.types import ScalarType, TensorType, Type
+from repro.errors import ParseError
+
+_TENSOR_RE = re.compile(r"^tensor<((?:\d+x)+)(f32|f64|i32|i64)>$")
+
+
+def parse_tensor_type(text: str, line: int = 0) -> TensorType:
+    """Parse a ``tensor<4x4xf32>`` literal."""
+    match = _TENSOR_RE.match(text.replace(" ", ""))
+    if match is None:
+        raise ParseError(f"malformed tensor type {text!r}", line, 0)
+    dims = tuple(int(d) for d in match.group(1).rstrip("x").split("x"))
+    return TensorType(dims, ScalarType(match.group(2)))
+
+
+class Parser:
+    """Consumes a token stream into a :class:`Program`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != EOF:
+            self.position += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None
+               ) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise self._error(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None
+                ) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse the whole source."""
+        program = ast.Program()
+        while self._peek().kind != EOF:
+            program.kernels.append(self.parse_kernel())
+        if not program.kernels:
+            raise self._error("empty program: expected 'kernel'")
+        return program
+
+    def parse_kernel(self) -> ast.KernelDecl:
+        """Parse one kernel declaration."""
+        keyword = self._expect(KEYWORD, "kernel")
+        name = self._expect(ID).text
+        self._expect(SYMBOL, "(")
+        params: List[ast.Param] = []
+        if not self._accept(SYMBOL, ")"):
+            while True:
+                params.append(self._parse_param())
+                if self._accept(SYMBOL, ")"):
+                    break
+                self._expect(SYMBOL, ",")
+        self._expect(SYMBOL, "->")
+        result_types = [self._parse_type()]
+        while self._accept(SYMBOL, ","):
+            result_types.append(self._parse_type())
+        self._expect(SYMBOL, "{")
+        body: List[ast.Node] = []
+        saw_return = False
+        while not self._accept(SYMBOL, "}"):
+            statement = self._parse_statement()
+            body.append(statement)
+            if isinstance(statement, ast.Return):
+                saw_return = True
+        if not saw_return:
+            raise self._error(
+                f"kernel {name!r} has no return statement", keyword
+            )
+        return ast.KernelDecl(
+            line=keyword.line,
+            name=name,
+            params=params,
+            result_types=result_types,
+            body=body,
+        )
+
+    def _parse_param(self) -> ast.Param:
+        name_token = self._expect(ID)
+        self._expect(SYMBOL, ":")
+        declared = self._parse_type()
+        annotations = []
+        while self._accept(SYMBOL, "@"):
+            annotations.append(self._expect(ID).text)
+        return ast.Param(
+            line=name_token.line,
+            name=name_token.text,
+            declared_type=declared,
+            annotations=tuple(annotations),
+        )
+
+    def _parse_type(self) -> Type:
+        token = self._peek()
+        if token.kind == TENSORTYPE:
+            self._advance()
+            return parse_tensor_type(token.text, token.line)
+        if token.kind == ID and token.text in SCALAR_TYPES:
+            self._advance()
+            return ScalarType(token.text)
+        raise self._error(
+            f"expected a type, found {token.text or 'end of input'!r}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _parse_statement(self) -> ast.Node:
+        if self._peek().kind == KEYWORD and self._peek().text == "return":
+            token = self._advance()
+            values = [self._parse_expr()]
+            while self._accept(SYMBOL, ","):
+                values.append(self._parse_expr())
+            return ast.Return(line=token.line, values=values)
+        name_token = self._expect(ID)
+        self._expect(SYMBOL, "=")
+        value = self._parse_expr()
+        return ast.Assignment(
+            line=name_token.line, name=name_token.text, value=value
+        )
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_add()
+
+    def _parse_add(self) -> ast.Expr:
+        left = self._parse_mul()
+        while True:
+            token = self._peek()
+            if token.kind == SYMBOL and token.text in ("+", "-"):
+                self._advance()
+                right = self._parse_mul()
+                left = ast.BinaryOp(
+                    line=token.line, op=token.text, lhs=left, rhs=right
+                )
+            else:
+                return left
+
+    def _parse_mul(self) -> ast.Expr:
+        left = self._parse_mat()
+        while True:
+            token = self._peek()
+            if token.kind == SYMBOL and token.text in ("*", "/"):
+                self._advance()
+                right = self._parse_mat()
+                left = ast.BinaryOp(
+                    line=token.line, op=token.text, lhs=left, rhs=right
+                )
+            else:
+                return left
+
+    def _parse_mat(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == SYMBOL and token.text == "@":
+                self._advance()
+                right = self._parse_unary()
+                left = ast.BinaryOp(
+                    line=token.line, op="@", lhs=left, rhs=right
+                )
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == SYMBOL and token.text == "-":
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, op="-", operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            return ast.NumberLiteral(line=token.line,
+                                     value=float(token.text))
+        if token.kind == SYMBOL and token.text == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(SYMBOL, ")")
+            return inner
+        if token.kind == ID:
+            self._advance()
+            if self._accept(SYMBOL, "("):
+                return self._parse_call(token)
+            return ast.VarRef(line=token.line, name=token.text)
+        raise self._error(
+            f"expected an expression, found "
+            f"{token.text or 'end of input'!r}"
+        )
+
+    def _parse_call(self, name_token: Token) -> ast.Call:
+        call = ast.Call(line=name_token.line, callee=name_token.text)
+        if self._accept(SYMBOL, ")"):
+            return call
+        while True:
+            token = self._peek()
+            next_token = self.tokens[self.position + 1] \
+                if self.position + 1 < len(self.tokens) else None
+            if (
+                token.kind == ID
+                and next_token is not None
+                and next_token.kind == SYMBOL
+                and next_token.text == "="
+            ):
+                self._advance()
+                self._advance()
+                call.int_lists[token.text] = self._parse_int_list()
+            else:
+                call.args.append(self._parse_expr())
+            if self._accept(SYMBOL, ")"):
+                return call
+            self._expect(SYMBOL, ",")
+
+    def _parse_int_list(self) -> List[int]:
+        self._expect(SYMBOL, "[")
+        values: List[int] = []
+        if self._accept(SYMBOL, "]"):
+            return values
+        while True:
+            negative = bool(self._accept(SYMBOL, "-"))
+            token = self._expect(NUMBER)
+            value = int(float(token.text))
+            values.append(-value if negative else value)
+            if self._accept(SYMBOL, "]"):
+                return values
+            self._expect(SYMBOL, ",")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse DSL source into an AST program."""
+    return Parser(source).parse_program()

@@ -1,0 +1,45 @@
+"""High-level synthesis engine (paper §III-B; Bambu [27]).
+
+Transforms kernel-form IR functions into accelerator designs:
+
+* :mod:`repro.core.hls.cdfg` — control/data-flow graph extraction
+  (loop tree + per-body dataflow with memory dependences);
+* :mod:`repro.core.hls.scheduling` — resource-constrained list
+  scheduling and modulo-scheduling-style pipelining (II computation);
+* :mod:`repro.core.hls.allocation` — functional-unit allocation and
+  binding, FPGA resource estimation;
+* :mod:`repro.core.hls.memory` — on-chip memory mapping: banking /
+  cyclic partitioning and port assignment (Wang et al. [28],
+  multi-port local memories [29]);
+* :mod:`repro.core.hls.fsmd` — FSMD (finite state machine + datapath)
+  construction and pseudo-RTL emission;
+* :mod:`repro.core.hls.taint` — TaintHLS-style dynamic information
+  flow tracking insertion [18];
+* :mod:`repro.core.hls.crypto` — the optimized crypto accelerator
+  library (memory / near-memory encryption);
+* :mod:`repro.core.hls.bambu` — the synthesis driver producing an
+  :class:`AcceleratorDesign`.
+"""
+
+from repro.core.hls.bambu import AcceleratorDesign, HLSOptions, synthesize
+from repro.core.hls.cdfg import CDFG, build_cdfg
+from repro.core.hls.scheduling import Schedule, schedule_loop
+from repro.core.hls.memory import MemoryPlan, plan_memories
+from repro.core.hls.allocation import Allocation, allocate
+from repro.core.hls.crypto import CRYPTO_LIBRARY, CryptoCore
+
+__all__ = [
+    "AcceleratorDesign",
+    "HLSOptions",
+    "synthesize",
+    "CDFG",
+    "build_cdfg",
+    "Schedule",
+    "schedule_loop",
+    "MemoryPlan",
+    "plan_memories",
+    "Allocation",
+    "allocate",
+    "CRYPTO_LIBRARY",
+    "CryptoCore",
+]

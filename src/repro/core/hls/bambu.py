@@ -1,0 +1,261 @@
+"""The HLS driver: kernel-form function → accelerator design.
+
+Named for Bambu [27], the open-source HLS tool EVEREST builds on. The
+driver chains CDFG extraction, memory planning, scheduling, allocation,
+optional DIFT and crypto insertion, and FSMD/RTL emission, producing an
+:class:`AcceleratorDesign` that the DSE cost model and the backend
+packaging consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.hls.allocation import Allocation, allocate
+from repro.core.hls.cdfg import CDFG, build_cdfg
+from repro.core.hls.crypto import CryptoCore, core_for
+from repro.core.hls.fsmd import FSMD, build_fsmd, emit_verilog
+from repro.core.hls.memory import MemoryPlan, plan_memories
+from repro.core.hls.scheduling import (
+    ResourceBudget,
+    Schedule,
+    nest_cycles,
+    schedule_loop,
+)
+from repro.core.hls.taint import TaintReport, apply_taint_tracking
+from repro.core.ir.module import Function, Module
+from repro.core.ir.types import MemRefType
+from repro.errors import HLSError
+from repro.platform.fpga import Bitstream
+from repro.platform.resources import FPGAResources
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HLSOptions:
+    """Synthesis knobs — the hardware-variant axes of the DSE."""
+
+    clock_hz: float = 250e6
+    budget: ResourceBudget = field(default_factory=ResourceBudget)
+    memory_strategy: str = "auto"  # auto | cyclic | block | none
+    enable_dift: Optional[bool] = None  # None = follow function attr
+    cipher: Optional[str] = None  # None = follow function attr
+    dynamic_watts_per_kilounit: float = 0.35
+
+    def __post_init__(self):
+        check_positive("clock_hz", self.clock_hz)
+
+
+@dataclass
+class AcceleratorDesign:
+    """Result of synthesizing one kernel."""
+
+    kernel_name: str
+    options: HLSOptions
+    cdfg: CDFG
+    schedules: Dict[int, Schedule]
+    memory_plan: MemoryPlan
+    allocation: Allocation
+    fsmd: FSMD
+    latency_cycles: int
+    resources: FPGAResources
+    taint_report: Optional[TaintReport] = None
+    crypto_core: Optional[CryptoCore] = None
+
+    @property
+    def latency_seconds(self) -> float:
+        """Wall-clock latency of one invocation at the design clock."""
+        return self.latency_cycles / self.options.clock_hz
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Dynamic power estimate from active cell count."""
+        kilounits = (self.resources.luts + self.resources.ffs) / 1000.0
+        watts = kilounits * self.options.dynamic_watts_per_kilounit / 10.0
+        if self.crypto_core is not None:
+            watts += self.crypto_core.dynamic_watts
+        return watts
+
+    @property
+    def energy_per_invocation(self) -> float:
+        """Joules per invocation (dynamic only)."""
+        return self.dynamic_watts * self.latency_seconds
+
+    def data_bytes(self) -> int:
+        """Bytes of argument data moved per invocation."""
+        total = 0
+        for argument in self.cdfg.function.arguments:
+            if isinstance(argument.type, MemRefType):
+                total += argument.type.size_bytes
+        return total
+
+    def bitstream(self, partial: bool = True) -> Bitstream:
+        """Package the design as a loadable bitstream image."""
+        return Bitstream(
+            name=f"{self.kernel_name}@{int(self.options.clock_hz / 1e6)}MHz",
+            footprint=self.resources,
+            clock_hz=self.options.clock_hz,
+            dynamic_watts=self.dynamic_watts,
+            partial=partial,
+        )
+
+    def rtl(self) -> str:
+        """Pseudo-RTL text of the design."""
+        return emit_verilog(self.fsmd)
+
+    def report(self) -> str:
+        """Multi-line synthesis report."""
+        lines = [
+            f"kernel           : {self.kernel_name}",
+            f"clock            : {self.options.clock_hz / 1e6:.0f} MHz",
+            f"latency          : {self.latency_cycles} cycles "
+            f"({self.latency_seconds * 1e6:.2f} us)",
+            f"units            : {self.allocation.describe()}",
+            f"resources        : {self.resources}",
+            f"memory banks     : "
+            f"{sum(p.factor for p in self.memory_plan.buffers.values())}",
+            f"dynamic power    : {self.dynamic_watts:.2f} W",
+        ]
+        if self.taint_report is not None:
+            overhead = self.taint_report.area_overhead_fraction(
+                self.resources - self.taint_report.extra
+            )
+            lines.append(
+                f"DIFT             : {len(self.taint_report.tracked_labels)}"
+                f" labels, +{overhead * 100:.1f}% cells"
+            )
+        if self.crypto_core is not None:
+            lines.append(f"crypto core      : {self.crypto_core.name}")
+        return "\n".join(lines)
+
+
+def synthesize(
+    module: Module,
+    kernel_name: str,
+    options: Optional[HLSOptions] = None,
+) -> AcceleratorDesign:
+    """Synthesize one kernel-form function into an accelerator."""
+    options = options or HLSOptions()
+    function = module.find_function(kernel_name)
+    if function is None:
+        raise HLSError(f"no function named {kernel_name!r}")
+    return synthesize_function(function, options)
+
+
+def synthesize_function(
+    function: Function, options: Optional[HLSOptions] = None
+) -> AcceleratorDesign:
+    """Synthesize a function wrapper directly."""
+    options = options or HLSOptions()
+    cdfg = build_cdfg(function)
+
+    max_unroll = max(
+        [loop.unroll for loop in cdfg.innermost_loops()] or [1]
+    )
+    target_ii = 1
+    memory_plan = plan_memories(
+        cdfg,
+        unroll=max_unroll,
+        target_ii=target_ii,
+        strategy=options.memory_strategy,
+    )
+    ports = memory_plan.ports_map()
+
+    schedules: Dict[int, Schedule] = {}
+    for loop in cdfg.innermost_loops():
+        schedules[id(loop)] = schedule_loop(
+            loop, budget=options.budget, memory_ports=ports
+        )
+
+    latency = nest_cycles(cdfg.root, schedules)
+    allocation = allocate(cdfg, schedules, memory_plan)
+    resources = allocation.resources
+
+    taint_report = None
+    wants_dift = options.enable_dift
+    if wants_dift is None:
+        wants_dift = bool(function.op.attr("dift"))
+    if wants_dift:
+        labels = sorted({
+            op.attr("label")
+            for op in function.walk()
+            if op.name == "secure.taint"
+        } or {"default"})
+        inflight = sum(
+            len(loop.body) for loop in cdfg.innermost_loops()
+        )
+        taint_report = apply_taint_tracking(
+            allocation.unit_counts,
+            inflight,
+            memory_plan,
+            labels,
+            egress_count=max(
+                1, len(function.type.results) + _out_param_count(function)
+            ),
+        )
+        resources = resources + taint_report.extra
+        latency += taint_report.extra_latency_cycles
+
+    crypto_core = None
+    cipher = options.cipher or function.op.attr("cipher")
+    if cipher:
+        crypto_core = core_for(cipher)
+        resources = resources + crypto_core.area
+        latency += crypto_core.cycles_for(_sensitive_bytes(function))
+
+    fsmd = build_fsmd(cdfg, schedules, memory_plan)
+
+    return AcceleratorDesign(
+        kernel_name=function.name,
+        options=options,
+        cdfg=cdfg,
+        schedules=schedules,
+        memory_plan=memory_plan,
+        allocation=allocation,
+        fsmd=fsmd,
+        latency_cycles=max(1, int(latency)),
+        resources=resources,
+        taint_report=taint_report,
+        crypto_core=crypto_core,
+    )
+
+
+def _out_param_count(function: Function) -> int:
+    lowered = function.op.attr("lowered_from") == "tensor"
+    if not lowered:
+        return 0
+    return sum(
+        1 for t in function.type.inputs if isinstance(t, MemRefType)
+    )
+
+
+def _sensitive_bytes(function: Function) -> int:
+    """Bytes that transit the crypto core: sensitive memref arguments."""
+    sensitive = function.op.attr("everest.sensitive_args", [])
+    total = 0
+    for index in sensitive:
+        if index < len(function.type.inputs):
+            declared = function.type.inputs[index]
+            if isinstance(declared, MemRefType):
+                total += declared.size_bytes
+    if total == 0 and sensitive:
+        total = 64  # scalar secrets still pay a block
+    return total
+
+
+def estimate_cpu_cycles(function: Function,
+                        flops_per_cycle: float = 4.0) -> int:
+    """Rough software-execution cycle count for the same kernel.
+
+    Used by the DSE to compare against the hardware design without a
+    full CPU microarchitecture model: operation count divided by a
+    superscalar issue width, plus memory-traffic cycles.
+    """
+    from repro.core.ir.passes.partitioning import estimate_work
+
+    work, data_bytes = estimate_work(function)
+    compute_cycles = work / flops_per_cycle
+    memory_cycles = data_bytes / 16.0  # ~16 B/cycle sustained
+    return int(max(compute_cycles, memory_cycles, 1))

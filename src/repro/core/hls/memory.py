@@ -1,0 +1,205 @@
+"""On-chip memory planning: banking, partitioning and port assignment.
+
+Implements the memory-subsystem customization of paper §III-B: each
+buffer of a kernel gets a bank layout so the scheduled loop can issue
+all its accesses every II cycles — cyclic or block partitioning in the
+style of generalized memory partitioning (Wang et al. [28]) with
+dual-port BRAM banks, or ``complete`` partitioning into registers for
+tiny buffers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.hls.cdfg import CDFG, DFGNode
+from repro.core.ir.ops import Value
+from repro.core.ir.types import MemRefType
+from repro.errors import HLSError
+from repro.utils.validation import check_positive
+
+#: BRAM block granularity (bits) — 18 kbit blocks.
+BRAM_BLOCK_BITS = 18 * 1024
+#: Ports of one BRAM bank (true dual port).
+PORTS_PER_BANK = 2
+#: Buffers at or below this element count partition completely.
+COMPLETE_PARTITION_LIMIT = 64
+
+
+@dataclass
+class BufferPlan:
+    """Bank layout of one buffer."""
+
+    value: Value
+    memref: MemRefType
+    scheme: str = "cyclic"  # cyclic | block | complete
+    factor: int = 1  # number of banks
+    accesses_per_iteration: int = 0
+
+    @property
+    def ports(self) -> int:
+        """Concurrent ports the layout provides."""
+        if self.scheme == "complete":
+            return self.memref.num_elements  # registers: unlimited-ish
+        return self.factor * PORTS_PER_BANK
+
+    @property
+    def bram_blocks(self) -> int:
+        """BRAM blocks consumed (0 when registers are used)."""
+        if self.scheme == "complete":
+            return 0
+        bits_per_bank = math.ceil(
+            self.memref.num_elements / self.factor
+        ) * self.memref.element.bit_width
+        return self.factor * max(
+            1, math.ceil(bits_per_bank / BRAM_BLOCK_BITS)
+        )
+
+    @property
+    def register_bits(self) -> int:
+        """Flip-flop bits when completely partitioned."""
+        if self.scheme != "complete":
+            return 0
+        return self.memref.num_elements * self.memref.element.bit_width
+
+
+@dataclass
+class MemoryPlan:
+    """Bank layouts for every buffer of a function."""
+
+    buffers: Dict[int, BufferPlan] = field(default_factory=dict)
+
+    def ports_map(self) -> Dict[int, int]:
+        """id(buffer value) -> available ports (for the scheduler)."""
+        return {key: plan.ports for key, plan in self.buffers.items()}
+
+    @property
+    def total_bram_blocks(self) -> int:
+        """All BRAM blocks across buffers."""
+        return sum(plan.bram_blocks for plan in self.buffers.values())
+
+    @property
+    def total_register_bits(self) -> int:
+        """All register bits from complete partitioning."""
+        return sum(plan.register_bits for plan in self.buffers.values())
+
+    def plan_for(self, value: Value) -> Optional[BufferPlan]:
+        """Plan of one buffer, if planned."""
+        return self.buffers.get(id(value))
+
+
+def cyclic_conflict_free(offsets: List[int], stride: int, unroll: int,
+                         banks: int) -> bool:
+    """Check Wang-style cyclic mapping: distinct banks per cycle.
+
+    For unroll copies ``k`` of accesses with constant ``offsets`` and
+    per-iteration ``stride``, every address ``stride*k + offset`` in
+    one cycle must land in a distinct bank modulo ``banks``.
+    """
+    check_positive("banks", banks)
+    seen = set()
+    for copy in range(unroll):
+        for offset in offsets:
+            bank = (stride * copy + offset) % banks
+            if bank in seen:
+                return False
+            seen.add(bank)
+    return True
+
+
+def _required_ports(accesses: int, unroll: int, target_ii: int) -> int:
+    return max(1, math.ceil(accesses * unroll / max(1, target_ii)))
+
+
+def plan_memories(
+    cdfg: CDFG,
+    unroll: int = 1,
+    target_ii: int = 1,
+    strategy: str = "auto",
+    max_factor: int = 64,
+) -> MemoryPlan:
+    """Derive bank layouts from the access pattern of the loop nests.
+
+    ``strategy``: ``auto`` (choose per buffer), ``cyclic``, ``block``
+    or ``none`` (single bank, the unoptimized baseline).
+    """
+    if strategy not in ("auto", "cyclic", "block", "none"):
+        raise HLSError(f"unknown memory strategy {strategy!r}")
+    plan = MemoryPlan()
+    access_counts = _count_accesses(cdfg)
+    explicit = _explicit_directives(cdfg)
+
+    for value, count in access_counts.items():
+        memref = value.type
+        if not isinstance(memref, MemRefType):
+            continue
+        directive = explicit.get(id(value))
+        if directive is not None:
+            scheme, factor = directive
+        elif strategy == "none":
+            scheme, factor = "cyclic", 1
+        elif (
+            memref.num_elements <= COMPLETE_PARTITION_LIMIT
+            and value.producer is not None
+            and value.producer.name == "kernel.alloc"
+        ):
+            # Local scratch buffers small enough become registers;
+            # interface buffers always stay addressable memories.
+            scheme, factor = "complete", memref.num_elements
+        else:
+            needed = _required_ports(count, unroll, target_ii)
+            factor = 1
+            while factor * PORTS_PER_BANK < needed and factor < max_factor:
+                factor *= 2
+            if strategy == "block":
+                scheme = "block"
+            elif strategy == "cyclic":
+                scheme = "cyclic"
+            else:
+                # SoA-layout record buffers bank naturally by field
+                # (block); streaming unit-stride buffers prefer cyclic.
+                scheme = "block" if memref.layout == "soa" else "cyclic"
+        plan.buffers[id(value)] = BufferPlan(
+            value=value,
+            memref=memref,
+            scheme=scheme,
+            factor=max(1, factor),
+            accesses_per_iteration=count,
+        )
+    return plan
+
+
+def _count_accesses(cdfg: CDFG) -> Dict[Value, int]:
+    """Accesses per innermost-loop iteration for each buffer.
+
+    Buffers only touched outside innermost loops still appear with
+    their total straight-line access count.
+    """
+    counts: Dict[int, int] = {}
+    values: Dict[int, Value] = {}
+
+    def record(node: DFGNode) -> None:
+        buffer = node.buffer()
+        if buffer is None:
+            return
+        counts[id(buffer)] = counts.get(id(buffer), 0) + 1
+        values[id(buffer)] = buffer
+
+    for loop in cdfg.root.walk():
+        for node in loop.body:
+            record(node)
+    return {values[key]: count for key, count in counts.items()}
+
+
+def _explicit_directives(cdfg: CDFG) -> Dict[int, tuple]:
+    """hw.partition directives found in the function body."""
+    directives: Dict[int, tuple] = {}
+    for op in cdfg.function.walk():
+        if op.name != "hw.partition":
+            continue
+        directives[id(op.operands[0])] = (
+            op.attr("scheme"), int(op.attr("factor"))
+        )
+    return directives

@@ -1,0 +1,372 @@
+"""Resource-constrained scheduling of loop bodies.
+
+A classical HLS flow (Bambu [27]): operations get ASAP/ALAP bounds,
+then list scheduling with a mobility priority packs them into control
+steps subject to functional-unit and memory-port constraints. For
+pipelined loops the initiation interval is the max of
+
+* **ResMII** — resource-minimum II from the busiest constrained
+  resource class, and
+* **RecMII** — recurrence-minimum II from the loop-carried
+  accumulation chain (see :func:`repro.core.hls.cdfg.loop_carried_chain`).
+
+Latencies are in clock cycles at the accelerator clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.hls.cdfg import DFGNode, LoopNode, loop_carried_chain
+from repro.errors import SchedulingError
+from repro.utils.validation import check_positive
+
+#: Cycle latency of each operation kind (fully pipelined units, II=1).
+OP_LATENCY: Dict[str, int] = {
+    "kernel.load": 2,
+    "kernel.store": 1,
+    "kernel.addf": 3,
+    "kernel.subf": 3,
+    "kernel.mulf": 4,
+    "kernel.divf": 14,
+    "kernel.maxf": 1,
+    "kernel.minf": 1,
+    "kernel.addi": 1,
+    "kernel.subi": 1,
+    "kernel.muli": 2,
+    "kernel.divi": 18,
+    "kernel.cmplt": 1,
+    "kernel.cmple": 1,
+    "kernel.cmpeq": 1,
+    "kernel.cmpgt": 1,
+    "kernel.select": 1,
+    "kernel.negf": 1,
+    "kernel.expf": 18,
+    "kernel.sqrtf": 12,
+    "kernel.tanhf": 20,
+    "kernel.sigmoidf": 20,
+    "kernel.absf": 1,
+    "kernel.const": 0,
+    "kernel.view": 0,
+    "kernel.alloc": 0,
+    "secure.taint": 0,
+    "secure.check": 1,
+    "secure.declassify": 0,
+    "secure.encrypt": 8,
+    "secure.decrypt": 8,
+}
+
+#: Resource class of each constrained operation kind.
+RESOURCE_CLASS: Dict[str, str] = {
+    "kernel.mulf": "fmul",
+    "kernel.divf": "fdiv",
+    "kernel.addf": "fadd",
+    "kernel.subf": "fadd",
+    "kernel.expf": "special",
+    "kernel.sqrtf": "special",
+    "kernel.tanhf": "special",
+    "kernel.sigmoidf": "special",
+    "kernel.load": "memport",
+    "kernel.store": "memport",
+    "secure.encrypt": "crypto",
+    "secure.decrypt": "crypto",
+}
+
+
+@dataclass
+class ResourceBudget:
+    """Available functional units per class for one accelerator."""
+
+    fadd: int = 4
+    fmul: int = 4
+    fdiv: int = 2
+    special: int = 4
+    crypto: int = 1
+    memport: int = 2  # ports per memory bank; scaled by the memory plan
+
+    def limit(self, resource: str) -> int:
+        """Unit count for a class; unconstrained classes are unlimited."""
+        return getattr(self, resource, 10**9)
+
+    def scaled(self, factor: int) -> "ResourceBudget":
+        """Budget with functional units multiplied (unrolled bodies).
+
+        Memory ports are NOT scaled: they are a physical property of
+        the banks; only the memory plan (banking) adds ports.
+        """
+        check_positive("factor", factor)
+        return ResourceBudget(
+            fadd=self.fadd * factor,
+            fmul=self.fmul * factor,
+            fdiv=self.fdiv * factor,
+            special=self.special * factor,
+            crypto=self.crypto,
+            memport=self.memport,
+        )
+
+
+def latency_of(node: DFGNode) -> int:
+    """Cycle latency of one operation (unknown ops take 1 cycle)."""
+    return OP_LATENCY.get(node.op.name, 1)
+
+
+@dataclass
+class Schedule:
+    """The schedule of one loop body."""
+
+    loop: Optional[LoopNode]
+    start_cycle: Dict[int, int] = field(default_factory=dict)  # id(node)
+    depth: int = 0  # body latency (cycles for one iteration)
+    ii: int = 1  # initiation interval when pipelined
+    pipelined: bool = False
+    unroll: int = 1
+    resource_usage: Dict[str, int] = field(default_factory=dict)
+
+    def cycles_for_trips(self, trips: int) -> int:
+        """Total cycles to run ``trips`` iterations of this body."""
+        if trips <= 0:
+            return 0
+        effective_trips = math.ceil(trips / self.unroll)
+        if self.pipelined:
+            return self.depth + (effective_trips - 1) * self.ii
+        return effective_trips * (self.depth + 1)
+
+
+def schedule_loop(
+    loop: LoopNode,
+    budget: Optional[ResourceBudget] = None,
+    memory_ports: Optional[Dict[int, int]] = None,
+) -> Schedule:
+    """Schedule an innermost loop body.
+
+    ``memory_ports`` maps ``id(buffer value)`` to the port count its
+    memory plan grants; buffers not listed get ``budget.memport``.
+    """
+    budget = budget or ResourceBudget()
+    unroll = loop.unroll
+    body = loop.body
+    if not body:
+        return Schedule(loop=loop, depth=1, ii=1,
+                        pipelined=loop.pipelined, unroll=1)
+
+    # Depth comes from scheduling ONE body copy against the per-copy
+    # budget; all unroll effects (replicated demand vs shared ports
+    # and unit pools) are folded into the initiation interval — the
+    # standard modulo-scheduling decomposition.
+    effective_budget = budget.scaled(unroll) if unroll > 1 else budget
+
+    start = _list_schedule(body, budget, memory_ports, 1)
+    depth = 0
+    for node in body:
+        depth = max(depth, start[id(node)] + latency_of(node))
+
+    usage = _resource_demand(body, unroll)
+    schedule = Schedule(
+        loop=loop,
+        start_cycle=start,
+        depth=max(depth, 1),
+        pipelined=loop.pipelined,
+        unroll=unroll,
+        resource_usage=usage,
+    )
+    if loop.pipelined:
+        schedule.ii = _initiation_interval(
+            loop, effective_budget, memory_ports, usage
+        )
+    else:
+        schedule.ii = schedule.depth
+    interleave = max(1, int(loop.op.attr("interleave", 1)))
+    if interleave > 1:
+        # reduction-tree epilogue over the partial sums
+        schedule.depth += int(
+            math.ceil(math.log2(interleave))
+        ) * OP_LATENCY["kernel.addf"]
+    return schedule
+
+
+def _resource_demand(body: List[DFGNode], unroll: int) -> Dict[str, int]:
+    demand: Dict[str, int] = {}
+    for node in body:
+        resource = RESOURCE_CLASS.get(node.op.name)
+        if resource is not None:
+            demand[resource] = demand.get(resource, 0) + unroll
+    return demand
+
+
+def _ports_for(node: DFGNode, budget: ResourceBudget,
+               memory_ports: Optional[Dict[int, int]]) -> int:
+    buffer = node.buffer()
+    if buffer is not None and memory_ports:
+        ports = memory_ports.get(id(buffer))
+        if ports is not None:
+            return ports
+    return budget.memport
+
+
+def _list_schedule(
+    body: List[DFGNode],
+    budget: ResourceBudget,
+    memory_ports: Optional[Dict[int, int]],
+    unroll: int,
+) -> Dict[int, int]:
+    """Mobility-priority list scheduling; returns start cycles."""
+    asap = _asap(body)
+    alap = _alap(body, max(asap[id(n)] + latency_of(n) for n in body))
+    mobility = {
+        id(node): alap[id(node)] - asap[id(node)] for node in body
+    }
+
+    start: Dict[int, int] = {}
+    unscheduled = sorted(
+        body, key=lambda node: (mobility[id(node)], node.index)
+    )
+    # usage[cycle][resource_key] -> count
+    usage: Dict[int, Dict[str, int]] = {}
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 100_000:
+            raise SchedulingError("list scheduling did not converge")
+        progressed = False
+        for node in list(unscheduled):
+            ready_at = 0
+            ready = True
+            for predecessor in node.predecessors:
+                if id(predecessor) not in start:
+                    ready = False
+                    break
+                ready_at = max(
+                    ready_at,
+                    start[id(predecessor)] + latency_of(predecessor),
+                )
+            if not ready:
+                continue
+            cycle = ready_at
+            while not _fits(node, cycle, usage, budget, memory_ports,
+                            unroll):
+                cycle += 1
+                if cycle > 100_000:
+                    raise SchedulingError(
+                        f"cannot place {node.op.name}: resource "
+                        f"limits too tight"
+                    )
+            start[id(node)] = cycle
+            key = _resource_key(node)
+            if key is not None:
+                cycle_usage = usage.setdefault(cycle, {})
+                cycle_usage[key] = cycle_usage.get(key, 0) + unroll
+            unscheduled.remove(node)
+            progressed = True
+        if not progressed:
+            raise SchedulingError("dependence cycle in loop body")
+    return start
+
+
+def _resource_key(node: DFGNode) -> Optional[str]:
+    resource = RESOURCE_CLASS.get(node.op.name)
+    if resource is None:
+        return None
+    if resource == "memport":
+        buffer = node.buffer()
+        return f"memport:{id(buffer)}"
+    return resource
+
+
+def _fits(
+    node: DFGNode,
+    cycle: int,
+    usage: Dict[int, Dict[str, int]],
+    budget: ResourceBudget,
+    memory_ports: Optional[Dict[int, int]],
+    unroll: int,
+) -> bool:
+    key = _resource_key(node)
+    if key is None:
+        return True
+    if key.startswith("memport:"):
+        limit = _ports_for(node, budget, memory_ports)
+    else:
+        limit = budget.limit(key)
+    used = usage.get(cycle, {}).get(key, 0)
+    return used + unroll <= limit
+
+
+def _asap(body: List[DFGNode]) -> Dict[int, int]:
+    start: Dict[int, int] = {}
+    for node in body:  # body is in topological (program) order
+        ready = 0
+        for predecessor in node.predecessors:
+            ready = max(
+                ready, start[id(predecessor)] + latency_of(predecessor)
+            )
+        start[id(node)] = ready
+    return start
+
+
+def _alap(body: List[DFGNode], horizon: int) -> Dict[int, int]:
+    finish: Dict[int, int] = {}
+    for node in reversed(body):
+        latest = horizon
+        for successor in node.successors:
+            latest = min(latest, finish[id(successor)])
+        finish[id(node)] = latest - latency_of(node)
+    return finish
+
+
+def _initiation_interval(
+    loop: LoopNode,
+    budget: ResourceBudget,
+    memory_ports: Optional[Dict[int, int]],
+    usage: Dict[str, int],
+) -> int:
+    target = max(1, int(loop.op.attr("pipeline_ii", 1)))
+
+    res_mii = 1
+    for resource, demand in usage.items():
+        if resource == "memport":
+            continue
+        limit = budget.limit(resource)
+        res_mii = max(res_mii, math.ceil(demand / limit))
+    # memory ports: per-buffer demand
+    per_buffer: Dict[int, int] = {}
+    for node in loop.body:
+        buffer = node.buffer()
+        if buffer is not None:
+            per_buffer[id(buffer)] = (
+                per_buffer.get(id(buffer), 0) + loop.unroll
+            )
+    for buffer_id, demand in per_buffer.items():
+        ports = budget.memport
+        if memory_ports and buffer_id in memory_ports:
+            ports = memory_ports[buffer_id]
+        res_mii = max(res_mii, math.ceil(demand / ports))
+
+    chain = loop_carried_chain(loop)
+    rec_mii = sum(latency_of(node) for node in chain) if chain else 1
+    # Accumulation interleaving (see passes/interleave.py): I partial
+    # sums stretch the recurrence distance to I iterations.
+    interleave = max(1, int(loop.op.attr("interleave", 1)))
+    rec_mii = math.ceil(rec_mii / interleave)
+
+    return max(target, res_mii, rec_mii)
+
+
+def nest_cycles(loop: LoopNode, schedules: Dict[int, Schedule]) -> int:
+    """Total cycles for a loop nest given innermost schedules.
+
+    Non-innermost loops contribute trip-count multipliers plus 2 cycles
+    of control overhead per iteration.
+    """
+    if loop.op is not None and loop.is_innermost:
+        schedule = schedules[id(loop)]
+        return schedule.cycles_for_trips(loop.trip_count)
+    inner = 0
+    for child in loop.children:
+        inner += nest_cycles(child, schedules)
+    # straight-line ops at this level
+    inner += sum(latency_of(node) for node in loop.body)
+    if loop.op is None:
+        return inner
+    return loop.trip_count * (inner + 2)

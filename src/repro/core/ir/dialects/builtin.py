@@ -1,0 +1,91 @@
+"""Builtin and func dialects: module container, functions, calls."""
+
+from __future__ import annotations
+
+from repro.core.ir.dialects import (
+    Dialect,
+    OpDef,
+    TRAIT_ISOLATED,
+    TRAIT_TERMINATOR,
+    register_dialect,
+)
+from repro.core.ir.ops import Operation
+from repro.core.ir.types import FunctionType
+from repro.errors import IRError
+
+builtin_dialect = register_dialect(
+    Dialect("builtin", "module container")
+)
+
+builtin_dialect.register(
+    OpDef(
+        name="module",
+        min_operands=0,
+        max_operands=0,
+        num_results=0,
+        num_regions=1,
+        traits=frozenset({TRAIT_ISOLATED}),
+    )
+)
+
+
+def _verify_func(op: Operation) -> None:
+    function_type = op.attr("function_type")
+    if not isinstance(function_type, FunctionType):
+        raise IRError("func.func: function_type attribute missing")
+    if not isinstance(op.attr("sym_name"), str):
+        raise IRError("func.func: sym_name attribute missing")
+    region = op.regions[0]
+    if region.blocks and region.blocks[0].arguments:
+        arg_types = tuple(a.type for a in region.blocks[0].arguments)
+        if arg_types != function_type.inputs:
+            raise IRError(
+                f"func.func {op.attr('sym_name')!r}: entry block args "
+                f"{arg_types} do not match signature "
+                f"{function_type.inputs}"
+            )
+
+
+def _verify_return(op: Operation) -> None:
+    parent_block = op.parent
+    if parent_block is None:
+        return
+    func_op = parent_block.region.owner
+    if func_op.name != "func.func":
+        raise IRError("func.return must be nested in func.func")
+    function_type = func_op.attr("function_type")
+    returned = tuple(v.type for v in op.operands)
+    if returned != function_type.results:
+        raise IRError(
+            f"func.return types {returned} do not match signature "
+            f"results {function_type.results}"
+        )
+
+
+def _verify_call(op: Operation) -> None:
+    if not isinstance(op.attr("callee"), str):
+        raise IRError("func.call requires a callee symbol attribute")
+
+
+func_dialect = register_dialect(Dialect("func", "functions and calls"))
+
+func_dialect.register(
+    OpDef(
+        name="func",
+        min_operands=0,
+        max_operands=0,
+        num_results=0,
+        num_regions=1,
+        traits=frozenset({TRAIT_ISOLATED}),
+        verify=_verify_func,
+    )
+)
+func_dialect.register(
+    OpDef(
+        name="return",
+        num_results=0,
+        traits=frozenset({TRAIT_TERMINATOR}),
+        verify=_verify_return,
+    )
+)
+func_dialect.register(OpDef(name="call", verify=_verify_call))

@@ -1,0 +1,69 @@
+"""Hardware dialect: accelerator instantiation and memory customization.
+
+Carries the decisions of hardware/software partitioning and of the
+memory-subsystem customization the paper describes (§III-B, [28-30]):
+``hw.accelerator`` wraps a kernel destined for HLS; ``hw.partition``
+records banking/multi-port directives on a buffer; ``hw.stream_read``
+and ``hw.stream_write`` connect accelerators over FIFO channels.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.dialects import (
+    Dialect,
+    OpDef,
+    register_dialect,
+)
+from repro.core.ir.ops import Operation
+from repro.core.ir.types import StreamType
+from repro.errors import IRError
+
+hw_dialect = register_dialect(
+    Dialect("hw", "accelerators and memory customization")
+)
+
+
+def _verify_accelerator(op: Operation) -> None:
+    if not isinstance(op.attr("kernel"), str):
+        raise IRError("hw.accelerator requires a kernel symbol attribute")
+
+
+def _verify_partition(op: Operation) -> None:
+    scheme = op.attr("scheme")
+    if scheme not in ("cyclic", "block", "complete"):
+        raise IRError(
+            "hw.partition: scheme must be cyclic/block/complete, "
+            f"got {scheme!r}"
+        )
+    factor = op.attr("factor")
+    if not isinstance(factor, int) or factor < 1:
+        raise IRError("hw.partition: positive integer factor required")
+
+
+def _verify_stream_read(op: Operation) -> None:
+    if not isinstance(op.operands[0].type, StreamType):
+        raise IRError("hw.stream_read operand must be a stream")
+
+
+def _verify_stream_write(op: Operation) -> None:
+    if not isinstance(op.operands[0].type, StreamType):
+        raise IRError("hw.stream_write first operand must be a stream")
+
+
+hw_dialect.register(
+    OpDef(name="accelerator", num_regions=0, verify=_verify_accelerator)
+)
+hw_dialect.register(
+    OpDef(name="partition", min_operands=1, max_operands=1, num_results=0,
+          verify=_verify_partition)
+)
+hw_dialect.register(
+    OpDef(name="stream_read", min_operands=1, max_operands=1, num_results=1,
+          verify=_verify_stream_read)
+)
+hw_dialect.register(
+    OpDef(name="stream_write", min_operands=2, max_operands=2, num_results=0,
+          verify=_verify_stream_write)
+)
+hw_dialect.register(OpDef(name="stream", min_operands=0, max_operands=0,
+                          num_results=1))

@@ -1,0 +1,65 @@
+"""Secure dialect: data-protection operations.
+
+Realizes the paper's data-centric security approach (§III-A): values
+flowing through the pipeline can be encrypted/decrypted at trust-zone
+boundaries, tagged as tainted for dynamic information flow tracking
+(TaintHLS, [18]), and guarded by declassification checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.dialects import Dialect, OpDef, register_dialect
+from repro.core.ir.ops import Operation
+from repro.errors import IRError
+
+secure_dialect = register_dialect(
+    Dialect("secure", "data protection: crypto, taint, monitors")
+)
+
+_CIPHERS = ("aes128-gcm", "aes256-gcm", "chacha20-poly1305", "ascon128")
+
+
+def _verify_crypto(op: Operation) -> None:
+    cipher = op.attr("cipher")
+    if cipher not in _CIPHERS:
+        raise IRError(
+            f"{op.name}: cipher must be one of {_CIPHERS}, got {cipher!r}"
+        )
+    if op.results[0].type != op.operands[0].type:
+        raise IRError(f"{op.name}: result type must match operand type")
+
+
+def _verify_taint(op: Operation) -> None:
+    label = op.attr("label")
+    if not isinstance(label, str) or not label:
+        raise IRError("secure.taint requires a non-empty label attribute")
+    if op.results[0].type != op.operands[0].type:
+        raise IRError("secure.taint: result type must match operand type")
+
+
+def _verify_check(op: Operation) -> None:
+    if not isinstance(op.attr("policy"), str):
+        raise IRError("secure.check requires a policy attribute")
+
+
+secure_dialect.register(
+    OpDef(name="encrypt", min_operands=1, max_operands=1, num_results=1,
+          verify=_verify_crypto)
+)
+secure_dialect.register(
+    OpDef(name="decrypt", min_operands=1, max_operands=1, num_results=1,
+          verify=_verify_crypto)
+)
+secure_dialect.register(
+    OpDef(name="taint", min_operands=1, max_operands=1, num_results=1,
+          verify=_verify_taint)
+)
+secure_dialect.register(
+    OpDef(name="declassify", min_operands=1, max_operands=1, num_results=1)
+)
+secure_dialect.register(
+    OpDef(name="check", min_operands=1, num_results=0, verify=_verify_check)
+)
+secure_dialect.register(
+    OpDef(name="monitor", min_operands=0, num_results=0)
+)

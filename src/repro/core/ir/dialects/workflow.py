@@ -1,0 +1,57 @@
+"""Workflow dialect: dataflow orchestration of coarse-grain tasks.
+
+Mirrors the HyperLoom pipeline abstraction (paper §III-A): a
+``workflow.pipeline`` op holds a region whose operations are
+``workflow.task`` nodes; each task names the kernel function it invokes
+and consumes/produces data values. ``workflow.source`` and
+``workflow.sink`` mark external data endpoints (sensor streams, result
+stores), carrying locality annotations used for placement.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.dialects import (
+    Dialect,
+    OpDef,
+    TRAIT_TERMINATOR,
+    register_dialect,
+)
+from repro.core.ir.ops import Operation
+from repro.errors import IRError
+
+workflow_dialect = register_dialect(
+    Dialect("workflow", "coarse-grain dataflow orchestration")
+)
+
+
+def _verify_task(op: Operation) -> None:
+    if not isinstance(op.attr("kernel"), str):
+        raise IRError("workflow.task requires a kernel symbol attribute")
+
+
+def _verify_source(op: Operation) -> None:
+    if len(op.operands) != 0:
+        raise IRError("workflow.source takes no operands")
+    if not op.results:
+        raise IRError("workflow.source must produce at least one value")
+
+
+workflow_dialect.register(
+    OpDef(
+        name="pipeline",
+        min_operands=0,
+        max_operands=0,
+        num_results=0,
+        num_regions=1,
+    )
+)
+workflow_dialect.register(OpDef(name="task", verify=_verify_task))
+workflow_dialect.register(OpDef(name="source", verify=_verify_source))
+workflow_dialect.register(OpDef(name="sink", num_results=0))
+workflow_dialect.register(
+    OpDef(
+        name="yield",
+        num_results=0,
+        traits=frozenset({TRAIT_TERMINATOR}),
+    )
+)

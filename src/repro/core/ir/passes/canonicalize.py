@@ -1,0 +1,157 @@
+"""Canonicalization: constant folding, CSE and dead-code elimination.
+
+These run between every major phase so later passes and the HLS engine
+see minimal IR. Only operations whose dialect definition carries the
+*pure* trait participate in CSE/DCE; folding is implemented for the
+kernel dialect's scalar arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.ir.dialects import op_is_pure
+from repro.core.ir.module import Module
+from repro.core.ir.ops import Block, Operation
+from repro.core.ir.passes.pass_manager import Pass
+
+_FOLDERS: Dict[str, Callable[..., float]] = {
+    "kernel.addf": lambda a, b: a + b,
+    "kernel.subf": lambda a, b: a - b,
+    "kernel.mulf": lambda a, b: a * b,
+    "kernel.divf": lambda a, b: a / b if b != 0 else math.inf,
+    "kernel.addi": lambda a, b: int(a) + int(b),
+    "kernel.subi": lambda a, b: int(a) - int(b),
+    "kernel.muli": lambda a, b: int(a) * int(b),
+    "kernel.maxf": lambda a, b: max(a, b),
+    "kernel.minf": lambda a, b: min(a, b),
+    "kernel.negf": lambda a: -a,
+    "kernel.expf": lambda a: math.exp(min(a, 700.0)),
+    "kernel.sqrtf": lambda a: math.sqrt(a) if a >= 0 else math.nan,
+    "kernel.absf": lambda a: abs(a),
+}
+
+
+def _const_value(op_operand) -> Optional[float]:
+    producer = op_operand.producer
+    if producer is not None and producer.name == "kernel.const":
+        return producer.attr("value")
+    return None
+
+
+class ConstantFoldPass(Pass):
+    """Fold kernel arithmetic whose operands are all constants."""
+
+    name = "constant-fold"
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for op in list(module.walk()):
+            folder = _FOLDERS.get(op.name)
+            if folder is None or not op.results:
+                continue
+            values = [_const_value(operand) for operand in op.operands]
+            if any(value is None for value in values):
+                continue
+            try:
+                folded = folder(*values)
+            except (ValueError, OverflowError):
+                continue
+            const = Operation(
+                "kernel.const",
+                result_types=[op.results[0].type],
+                attributes={"value": folded},
+            )
+            op.parent.insert_before(op, const)
+            op.results[0].replace_all_uses_with(const.result)
+            op.erase()
+            changed = True
+        return changed
+
+
+class CSEPass(Pass):
+    """Common-subexpression elimination over pure ops, per block."""
+
+    name = "cse"
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for func in module.functions():
+            for block in _all_blocks(func.op):
+                changed |= self._run_on_block(block)
+        return changed
+
+    @staticmethod
+    def _key(op: Operation) -> Tuple:
+        attrs = tuple(sorted(
+            (key, repr(value)) for key, value in op.attributes.items()
+        ))
+        return (op.name, tuple(id(o) for o in op.operands), attrs)
+
+    def _run_on_block(self, block: Block) -> bool:
+        changed = False
+        seen: Dict[Tuple, Operation] = {}
+        for op in list(block.operations):
+            if not op_is_pure(op) or op.regions or not op.results:
+                continue
+            key = self._key(op)
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = op
+                continue
+            for old, new in zip(op.results, existing.results):
+                old.replace_all_uses_with(new)
+            op.erase()
+            changed = True
+        return changed
+
+
+class DCEPass(Pass):
+    """Remove pure operations whose results are all unused."""
+
+    name = "dce"
+
+    def run(self, module: Module) -> bool:
+        changed = True
+        any_changed = False
+        while changed:
+            changed = False
+            for op in list(module.walk()):
+                if not op_is_pure(op) or op.regions:
+                    continue
+                if op.parent is None:
+                    continue
+                if all(not result.uses for result in op.results):
+                    op.erase()
+                    changed = True
+                    any_changed = True
+        return any_changed
+
+
+class CanonicalizePass(Pass):
+    """Fold + CSE + DCE to a fixed point (bounded iterations)."""
+
+    name = "canonicalize"
+
+    def __init__(self, max_iterations: int = 8):
+        self.max_iterations = max_iterations
+
+    def run(self, module: Module) -> bool:
+        any_changed = False
+        for _ in range(self.max_iterations):
+            changed = ConstantFoldPass().run(module)
+            changed |= CSEPass().run(module)
+            changed |= DCEPass().run(module)
+            any_changed |= changed
+            if not changed:
+                break
+        return any_changed
+
+
+def _all_blocks(op: Operation):
+    for region in op.regions:
+        for block in region.blocks:
+            yield block
+            for inner in block.operations:
+                yield from _all_blocks(inner)

@@ -1,0 +1,86 @@
+"""Pass driver: ordered pipelines with optional post-pass verification."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.ir.module import Module
+from repro.core.ir.verifier import verify
+from repro.errors import PassError
+
+
+class Pass:
+    """Base class: subclasses implement :meth:`run` returning 'changed'."""
+
+    #: Human-readable pass name; defaults to the class name.
+    name = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__
+
+    def run(self, module: Module) -> bool:
+        """Transform ``module`` in place; return True if changed."""
+        raise NotImplementedError
+
+
+@dataclass
+class PassStatistics:
+    """Execution record of one pass invocation."""
+
+    name: str
+    changed: bool
+    seconds: float
+
+
+@dataclass
+class PassManager:
+    """Runs a pipeline of passes in order.
+
+    With ``verify_each`` set (the default), the module is re-verified
+    after every pass so a broken rewrite is caught at its source.
+    """
+
+    verify_each: bool = True
+    passes: List[Pass] = field(default_factory=list)
+    statistics: List[PassStatistics] = field(default_factory=list)
+
+    def add(self, pass_: Pass) -> "PassManager":
+        """Append a pass; returns self for chaining."""
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        """Run all passes; returns True if any changed the module."""
+        any_changed = False
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            try:
+                changed = pass_.run(module)
+            except PassError:
+                raise
+            except Exception as exc:
+                raise PassError(f"pass {pass_.name} failed: {exc}") from exc
+            elapsed = time.perf_counter() - start
+            self.statistics.append(
+                PassStatistics(pass_.name, bool(changed), elapsed)
+            )
+            any_changed = any_changed or bool(changed)
+            if self.verify_each:
+                try:
+                    verify(module)
+                except Exception as exc:
+                    raise PassError(
+                        f"module invalid after pass {pass_.name}: {exc}"
+                    ) from exc
+        return any_changed
+
+    def summary(self) -> Dict[str, float]:
+        """Total seconds spent per pass name."""
+        totals: Dict[str, float] = {}
+        for stat in self.statistics:
+            totals[stat.name] = totals.get(stat.name, 0.0) + stat.seconds
+        return totals

@@ -1,0 +1,69 @@
+"""HLS loop directives: unrolling and pipelining knobs.
+
+Hardware variants differ in how much spatial parallelism HLS extracts;
+this pass attaches ``unroll`` factors and ``pipeline`` (target
+initiation interval) attributes to ``kernel.for`` loops, which the HLS
+scheduler (:mod:`repro.core.hls.scheduling`) honors. Innermost loops
+receive the directives; outer loops are left sequential.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.module import Module
+from repro.core.ir.ops import Operation
+from repro.core.ir.passes.pass_manager import Pass
+from repro.utils.validation import check_positive
+
+
+def is_innermost(op: Operation) -> bool:
+    """True when a kernel.for contains no nested kernel.for."""
+    if op.name != "kernel.for":
+        return False
+    for region in op.regions:
+        for block in region.blocks:
+            for inner in block.operations:
+                for nested in inner.walk():
+                    if nested is not inner and nested.name == "kernel.for":
+                        return False
+                if inner.name == "kernel.for":
+                    return False
+    return True
+
+
+class LoopDirectivesPass(Pass):
+    """Attach unroll/pipeline directives to innermost loops."""
+
+    name = "loop-directives"
+
+    def __init__(self, unroll_factor: int = 1, pipeline: bool = True,
+                 target_ii: int = 1):
+        self.unroll_factor = int(check_positive("unroll_factor",
+                                                unroll_factor))
+        self.pipeline = pipeline
+        self.target_ii = int(check_positive("target_ii", target_ii))
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for op in module.walk():
+            if not is_innermost(op):
+                continue
+            trip = self._trip_count(op)
+            factor = min(self.unroll_factor, trip) if trip else 1
+            if op.attr("unroll") != factor:
+                op.set_attr("unroll", factor)
+                changed = True
+            if self.pipeline and op.attr("pipeline_ii") != self.target_ii:
+                op.set_attr("pipeline_ii", self.target_ii)
+                changed = True
+            if not self.pipeline and op.attr("pipeline_ii") is not None:
+                del op.attributes["pipeline_ii"]
+                changed = True
+        return changed
+
+    @staticmethod
+    def _trip_count(op: Operation) -> int:
+        lower, upper = op.attr("lower"), op.attr("upper")
+        step = op.attr("step")
+        if upper <= lower:
+            return 0
+        return (upper - lower + step - 1) // step

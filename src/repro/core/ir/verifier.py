@@ -1,0 +1,115 @@
+"""Structural verification of IR modules.
+
+Checks, in order:
+
+1. every operation's dialect and kind are registered, and its
+   structural constraints (operand/result/region counts plus the op's
+   own verifier) hold;
+2. terminator placement — terminator-trait ops appear only as the last
+   op of a block, and blocks of region-carrying ops that require
+   termination end with the right terminator;
+3. SSA visibility — each operand is defined before use, either earlier
+   in the same block, as an enclosing block argument, or earlier in an
+   enclosing (non-isolated) region;
+4. use-def consistency — ``value.uses`` agrees with actual operand
+   lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.ir.dialects import (
+    TRAIT_ISOLATED,
+    TRAIT_TERMINATOR,
+    lookup_op,
+)
+from repro.core.ir.module import Module
+from repro.core.ir.ops import Block, Operation, Value
+from repro.errors import VerificationError
+
+_REQUIRED_TERMINATORS = {
+    "func.func": "func.return",
+    "kernel.for": "kernel.yield",
+    "workflow.pipeline": "workflow.yield",
+}
+
+
+def verify(module: Module) -> None:
+    """Verify a module; raises :class:`VerificationError` on failure."""
+    _verify_op(module.op, visible=set())
+    _verify_uses(module)
+
+
+def _verify_op(op: Operation, visible: Set[Value]) -> None:
+    try:
+        opdef = lookup_op(op.name)
+    except Exception as exc:
+        raise VerificationError(str(exc)) from exc
+
+    try:
+        opdef.check(op)
+    except VerificationError:
+        raise
+    except Exception as exc:
+        raise VerificationError(f"{op.name}: {exc}") from exc
+
+    for operand in op.operands:
+        if operand not in visible:
+            raise VerificationError(
+                f"{op.name}: operand %{operand.name} is not visible at "
+                f"its use (use before def, or crossing an isolated region)"
+            )
+
+    isolated = opdef.has_trait(TRAIT_ISOLATED)
+    inner_visible: Set[Value] = set() if isolated else set(visible)
+    for region in op.regions:
+        for block in region.blocks:
+            _verify_block(op, block, set(inner_visible))
+
+
+def _verify_block(parent: Operation, block: Block,
+                  visible: Set[Value]) -> None:
+    visible.update(block.arguments)
+    operations = block.operations
+    for index, op in enumerate(operations):
+        is_last = index == len(operations) - 1
+        try:
+            opdef = lookup_op(op.name)
+        except Exception as exc:
+            raise VerificationError(str(exc)) from exc
+        if opdef.has_trait(TRAIT_TERMINATOR) and not is_last:
+            raise VerificationError(
+                f"terminator {op.name} is not the last operation of "
+                f"its block (inside {parent.name})"
+            )
+        _verify_op(op, visible)
+        visible.update(op.results)
+
+    required = _REQUIRED_TERMINATORS.get(parent.name)
+    if required is not None and operations:
+        last = operations[-1]
+        if last.name != required:
+            raise VerificationError(
+                f"{parent.name}: block must end with {required}, "
+                f"found {last.name}"
+            )
+
+
+def _verify_uses(module: Module) -> None:
+    all_ops: List[Operation] = list(module.walk())
+    for op in all_ops:
+        for operand in op.operands:
+            if op not in operand.uses:
+                raise VerificationError(
+                    f"use-def inconsistency: {op.name} uses "
+                    f"%{operand.name} but is missing from its use list"
+                )
+    defined: Set[int] = set()
+    for op in all_ops:
+        for result in op.results:
+            if id(result) in defined:
+                raise VerificationError(
+                    f"value %{result.name} defined more than once"
+                )
+            defined.add(id(result))

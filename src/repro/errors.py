@@ -1,0 +1,86 @@
+"""Exception hierarchy for the EVEREST SDK reproduction.
+
+Every subsystem raises a subclass of :class:`EverestError` so that callers
+can catch SDK-level failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class EverestError(Exception):
+    """Base class for all errors raised by the SDK."""
+
+
+class SpecificationError(EverestError):
+    """An application specification (DSL, workflow, annotation) is invalid."""
+
+
+class ParseError(SpecificationError):
+    """A DSL source string could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class TypeCheckError(SpecificationError):
+    """A DSL program failed type checking."""
+
+
+class IRError(EverestError):
+    """The intermediate representation is malformed."""
+
+
+class VerificationError(IRError):
+    """An IR module failed structural verification."""
+
+
+class PassError(EverestError):
+    """A compiler pass could not be applied."""
+
+
+class HLSError(EverestError):
+    """High-level synthesis failed."""
+
+
+class SchedulingError(HLSError):
+    """The HLS scheduler could not produce a legal schedule."""
+
+
+class AllocationError(HLSError):
+    """Resource allocation/binding failed (e.g. device too small)."""
+
+
+class DSEError(EverestError):
+    """Design-space exploration failed."""
+
+
+class BackendError(EverestError):
+    """Code generation or packaging failed."""
+
+
+class PlatformError(EverestError):
+    """The simulated platform was misconfigured or misused."""
+
+
+class CapacityError(PlatformError):
+    """A resource request exceeded the capacity of a device."""
+
+
+class RuntimeSystemError(EverestError):
+    """The EVEREST runtime (autotuner, virtualization, executor) failed."""
+
+
+class VirtualizationError(RuntimeSystemError):
+    """Hypervisor or VM management failure."""
+
+
+class SecurityError(RuntimeSystemError):
+    """A data-protection policy was violated or an attack was detected."""
+
+
+class WorkflowError(EverestError):
+    """The distributed workflow engine rejected a graph or execution."""

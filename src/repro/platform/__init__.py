@@ -1,0 +1,66 @@
+"""Simulated EVEREST target system (paper Section V, Figs. 3 and 4).
+
+The real EVEREST platform combines IBM POWER9 servers with bus-attached
+OpenCAPI FPGAs and network-attached cloudFPGA devices. That hardware is
+not available here, so this package provides a cycle-approximate,
+discrete-event model of it: devices with explicit resource capacities,
+memories and interconnects with latency/bandwidth/energy parameters, and
+an ecosystem topology spanning end-point, inner-edge and cloud tiers.
+"""
+
+from repro.platform.simulator import Simulator, SimResource, Timeout
+from repro.platform.resources import (
+    CPUDescription,
+    FPGAResources,
+    GPUDescription,
+)
+from repro.platform.memory import MemoryModel, MemoryTechnology
+from repro.platform.interconnect import (
+    EthernetLink,
+    Link,
+    OpenCAPILink,
+    PCIeLink,
+)
+from repro.platform.fpga import Bitstream, FPGADevice, Role, Shell
+from repro.platform.node import (
+    CloudFPGANode,
+    EdgeNode,
+    GPUNode,
+    Node,
+    Power9Node,
+    build_power9_node,
+    build_cloudfpga_node,
+    build_edge_node,
+)
+from repro.platform.topology import Ecosystem, Tier
+from repro.platform.power import EnergyMeter
+
+__all__ = [
+    "Simulator",
+    "SimResource",
+    "Timeout",
+    "CPUDescription",
+    "GPUDescription",
+    "FPGAResources",
+    "MemoryModel",
+    "MemoryTechnology",
+    "Link",
+    "OpenCAPILink",
+    "PCIeLink",
+    "EthernetLink",
+    "FPGADevice",
+    "Shell",
+    "Role",
+    "Bitstream",
+    "Node",
+    "Power9Node",
+    "CloudFPGANode",
+    "EdgeNode",
+    "GPUNode",
+    "build_power9_node",
+    "build_cloudfpga_node",
+    "build_edge_node",
+    "Ecosystem",
+    "Tier",
+    "EnergyMeter",
+]

@@ -1,0 +1,242 @@
+"""Minimal generator-based discrete-event simulation engine.
+
+This is the substrate that stands in for the physical EVEREST testbed
+(see DESIGN.md, *Substitutions*). Processes are Python generators that
+yield :class:`Timeout` or :class:`Request` objects; the engine advances
+virtual time and resumes them, in the style of SimPy but with only the
+features the SDK needs:
+
+* ``Simulator.process(gen)`` — register a process.
+* ``yield sim.timeout(delay)`` — suspend for simulated seconds.
+* ``yield resource.request()`` / ``resource.release()`` — contend for a
+  finite-capacity resource (FPGA role slot, memory channel, link).
+* ``yield event`` — wait for an explicit :class:`Event` to be triggered.
+
+Determinism: events scheduled at the same timestamp fire in insertion
+order (a monotonically increasing sequence number breaks heap ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import PlatformError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    An event is *triggered* at most once with an optional value; every
+    process waiting on it resumes with that value.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters at the current time."""
+        if self.triggered:
+            raise PlatformError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self._sim._schedule(0.0, process, value)
+        self._waiters.clear()
+
+    def _subscribe(self, process: "Process") -> None:
+        if self.triggered:
+            self._sim._schedule(0.0, process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout:
+    """Suspend the yielding process for ``delay`` simulated seconds."""
+
+    def __init__(self, delay: float):
+        self.delay = check_non_negative("delay", delay)
+
+
+class Request:
+    """Acquire one unit of a :class:`SimResource` (FIFO queuing)."""
+
+    def __init__(self, resource: "SimResource"):
+        self.resource = resource
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.done_event = Event(sim)
+
+    def _step(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done_event.trigger(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim._schedule(yielded.delay, self, None)
+        elif isinstance(yielded, Request):
+            yielded.resource._enqueue(self)
+        elif isinstance(yielded, Event):
+            yielded._subscribe(self)
+        elif isinstance(yielded, Process):
+            yielded.done_event._subscribe(self)
+        else:
+            raise PlatformError(
+                f"process {self.name!r} yielded unsupported object "
+                f"{yielded!r}"
+            )
+
+
+class SimResource:
+    """A finite-capacity resource with FIFO admission.
+
+    Models contended platform entities: FPGA role slots, DMA engines,
+    memory channels, network links. ``capacity`` units can be held at
+    once; further requesters queue.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = ""):
+        self._sim = sim
+        self.capacity = int(check_positive("capacity", capacity))
+        self.name = name or f"resource@{id(self):x}"
+        self.in_use = 0
+        self._queue: List[Process] = []
+        self.total_waits = 0
+        self.total_grants = 0
+
+    def request(self) -> Request:
+        """Return a request object to ``yield`` from a process."""
+        return Request(self)
+
+    def release(self) -> None:
+        """Return one unit; wakes the head of the queue if any."""
+        if self.in_use <= 0:
+            raise PlatformError(
+                f"release of {self.name!r} without matching request"
+            )
+        self.in_use -= 1
+        if self._queue:
+            process = self._queue.pop(0)
+            self.in_use += 1
+            self.total_grants += 1
+            self._sim._schedule(0.0, process, None)
+
+    def _enqueue(self, process: Process) -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_grants += 1
+            self._sim._schedule(0.0, process, None)
+        else:
+            self.total_waits += 1
+            self._queue.append(process)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes currently waiting."""
+        return len(self._queue)
+
+
+class Simulator:
+    """The discrete-event engine: a clock and an ordered event heap."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Process, Any]] = []
+        self._sequence = 0
+        self._processes: List[Process] = []
+
+    def process(
+        self, gen: Generator, name: str = ""
+    ) -> Process:
+        """Register a generator as a process starting at the current time."""
+        process = Process(self, gen, name or f"process-{len(self._processes)}")
+        self._processes.append(process)
+        self._schedule(0.0, process, None)
+        return process
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a timeout to ``yield`` from a process."""
+        return Timeout(delay)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def resource(self, capacity: int, name: str = "") -> SimResource:
+        """Create a finite-capacity resource owned by this simulator."""
+        return SimResource(self, capacity, name)
+
+    def _schedule(self, delay: float, process: Process, value: Any) -> None:
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, process, value)
+        )
+        self._sequence += 1
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the clock until the heap drains or ``until`` is reached.
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            time, _seq, process, value = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            process._step(value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: register ``gen``, run to completion, return result."""
+        process = self.process(gen, name)
+        self.run()
+        if not process.finished:
+            raise PlatformError(
+                f"process {process.name!r} deadlocked "
+                f"(simulation drained at t={self.now})"
+            )
+        return process.result
+
+
+def all_of(sim: Simulator, processes: List[Process]) -> Generator:
+    """A process body that waits for all given processes to finish."""
+    for process in processes:
+        if not process.finished:
+            yield process
+    return [process.result for process in processes]
+
+
+def delayed_call(
+    sim: Simulator, delay: float, func: Callable[[], Any]
+) -> Process:
+    """Schedule ``func`` to run as a process after ``delay`` seconds."""
+
+    def body() -> Generator:
+        yield sim.timeout(delay)
+        return func()
+
+    return sim.process(body(), name=f"delayed:{func!r}")

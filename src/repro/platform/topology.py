@@ -1,0 +1,205 @@
+"""Ecosystem topology: end-point devices, inner edge, core cloud (Fig. 3).
+
+The :class:`Ecosystem` holds nodes assigned to tiers and the links
+between them, backed by a networkx graph. It answers the questions the
+runtime scheduler asks: what does it cost (time, energy) to move a data
+object from where it is to where a task wants to run, and which nodes
+sit in which tier.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import PlatformError
+from repro.platform.interconnect import (
+    EdgeUplink,
+    EthernetLink,
+    Link,
+    SensorLink,
+)
+from repro.platform.node import (
+    Node,
+    build_cloudfpga_node,
+    build_edge_node,
+    build_gpu_node,
+    build_power9_node,
+)
+
+
+class Tier(enum.Enum):
+    """Processing tiers of the EVEREST ecosystem, outermost first."""
+
+    ENDPOINT = "endpoint"
+    INNER_EDGE = "inner_edge"
+    CLOUD = "cloud"
+
+
+class Ecosystem:
+    """A multi-tier deployment of nodes connected by typed links."""
+
+    def __init__(self, name: str = "everest"):
+        self.name = name
+        self.graph = nx.Graph()
+        self.nodes: Dict[str, Node] = {}
+        self.tiers: Dict[str, Tier] = {}
+
+    def add_node(self, node: Node, tier: Tier) -> Node:
+        """Register a node in a tier."""
+        if node.name in self.nodes:
+            raise PlatformError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self.tiers[node.name] = tier
+        self.graph.add_node(node.name, tier=tier)
+        return node
+
+    def connect(self, a: str, b: str, link: Link) -> None:
+        """Connect two registered nodes with a link."""
+        for name in (a, b):
+            if name not in self.nodes:
+                raise PlatformError(f"unknown node {name!r}")
+        self.graph.add_edge(a, b, link=link)
+
+    def nodes_in_tier(self, tier: Tier) -> List[Node]:
+        """All nodes assigned to ``tier``."""
+        return [
+            self.nodes[name]
+            for name, node_tier in self.tiers.items()
+            if node_tier is tier
+        ]
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The direct link between two nodes."""
+        if not self.graph.has_edge(a, b):
+            raise PlatformError(f"no direct link between {a!r} and {b!r}")
+        return self.graph.edges[a, b]["link"]
+
+    def path(self, source: str, target: str) -> List[str]:
+        """Shortest (fewest-hops) node path between two nodes."""
+        try:
+            return nx.shortest_path(self.graph, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise PlatformError(
+                f"no path between {source!r} and {target!r}"
+            ) from exc
+
+    def transfer_time(self, source: str, target: str, num_bytes: int
+                      ) -> float:
+        """End-to-end time to move ``num_bytes`` along the hop path."""
+        if source == target:
+            return 0.0
+        total = 0.0
+        hops = self.path(source, target)
+        for a, b in zip(hops, hops[1:]):
+            total += self.link_between(a, b).transfer_time(num_bytes)
+        return total
+
+    def transfer_energy(self, source: str, target: str, num_bytes: int
+                        ) -> float:
+        """Energy to move ``num_bytes`` along the hop path."""
+        if source == target:
+            return 0.0
+        total = 0.0
+        hops = self.path(source, target)
+        for a, b in zip(hops, hops[1:]):
+            total += self.link_between(a, b).transfer_energy(num_bytes)
+        return total
+
+    def record_transfer(self, source: str, target: str, num_bytes: int
+                        ) -> float:
+        """Account the transfer on every hop link; returns total time."""
+        if source == target:
+            return 0.0
+        total = 0.0
+        hops = self.path(source, target)
+        for a, b in zip(hops, hops[1:]):
+            total += self.link_between(a, b).record_transfer(num_bytes)
+        return total
+
+    def bottleneck_bandwidth(self, source: str, target: str) -> float:
+        """Minimum link bandwidth along the path (B/s)."""
+        if source == target:
+            return float("inf")
+        hops = self.path(source, target)
+        return min(
+            self.link_between(a, b).bandwidth
+            for a, b in zip(hops, hops[1:])
+        )
+
+    def all_links(self) -> Iterable[Tuple[str, str, Link]]:
+        """Iterate over (a, b, link) triples."""
+        for a, b, data in self.graph.edges(data=True):
+            yield a, b, data["link"]
+
+
+def build_reference_ecosystem(
+    num_endpoints: int = 8,
+    num_edge_nodes: int = 2,
+    num_power9: int = 1,
+    num_cloudfpga: int = 4,
+    num_gpu_nodes: int = 1,
+    uplink_mbps: float = 100.0,
+) -> Ecosystem:
+    """The EVEREST demonstrator topology of Figs. 3 and 4.
+
+    End-point sensors feed edge gateways over low-power links; gateways
+    reach the cloud over a WAN uplink; inside the datacenter, POWER9
+    nodes, GPU baseline nodes and cloudFPGA modules share the Ethernet
+    fabric through a leaf switch (modeled as a star around ``dc-switch``).
+    """
+    eco = Ecosystem("everest-demonstrator")
+
+    switch = Node(name="dc-switch", arch="switch")
+    eco.add_node(switch, Tier.CLOUD)
+
+    for index in range(num_power9):
+        node = eco.add_node(
+            build_power9_node(f"power9-{index}"), Tier.CLOUD
+        )
+        eco.connect(
+            node.name, "dc-switch", EthernetLink(f"{node.name}/net", 100.0)
+        )
+
+    for index in range(num_gpu_nodes):
+        node = eco.add_node(build_gpu_node(f"gpu-{index}"), Tier.CLOUD)
+        eco.connect(
+            node.name, "dc-switch", EthernetLink(f"{node.name}/net", 100.0)
+        )
+
+    for index in range(num_cloudfpga):
+        node = eco.add_node(
+            build_cloudfpga_node(f"cloudfpga-{index}"), Tier.CLOUD
+        )
+        eco.connect(
+            node.name,
+            "dc-switch",
+            EthernetLink(f"{node.name}/net", 10.0, protocol="udp"),
+        )
+
+    edge_names: List[str] = []
+    for index in range(num_edge_nodes):
+        arch = "arm" if index % 2 == 0 else "riscv"
+        node = eco.add_node(
+            build_edge_node(f"edge-{index}", arch=arch), Tier.INNER_EDGE
+        )
+        eco.connect(
+            node.name, "dc-switch", EdgeUplink(f"{node.name}/wan",
+                                               mbps=uplink_mbps)
+        )
+        edge_names.append(node.name)
+
+    for index in range(num_endpoints):
+        endpoint = Node(name=f"endpoint-{index}", arch="mcu")
+        eco.add_node(endpoint, Tier.ENDPOINT)
+        gateway = edge_names[index % len(edge_names)] if edge_names \
+            else "dc-switch"
+        eco.connect(
+            endpoint.name,
+            gateway,
+            SensorLink(f"{endpoint.name}/radio", kbps=250.0),
+        )
+
+    return eco

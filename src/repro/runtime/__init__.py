@@ -1,0 +1,37 @@
+"""The EVEREST virtualized runtime system (paper Section IV, Fig. 2).
+
+Three pillars, matching the figure:
+
+1. **Data protection layer** — :mod:`repro.runtime.dataprotection`:
+   runtime information-flow tracking, anomaly-detecting hardware
+   monitors, and auto-protection reactions.
+2. **Dynamic hardware/software adaptation** —
+   :mod:`repro.runtime.autotuner` (mARGOt [11]): goal-driven selection
+   among the compile-time variants, reacting to workload and data
+   features.
+3. **Virtualization support** — :mod:`repro.runtime.virt`: hypervisor,
+   VMs, vFPGA management and API remoting.
+
+:mod:`repro.runtime.executor` drives a compiled application over the
+simulated platform using all three.
+"""
+
+from repro.runtime.autotuner.manager import ApplicationManager
+from repro.runtime.autotuner.goals import Goal, GoalKind
+from repro.runtime.executor import ExecutionReport, RuntimeExecutor
+from repro.runtime.memory_manager import BufferRequest, MemoryManager
+from repro.runtime.orchestrator import DeploymentReport, Orchestrator
+from repro.runtime.scheduler import TierPlacer
+
+__all__ = [
+    "ApplicationManager",
+    "Goal",
+    "GoalKind",
+    "RuntimeExecutor",
+    "ExecutionReport",
+    "MemoryManager",
+    "BufferRequest",
+    "Orchestrator",
+    "DeploymentReport",
+    "TierPlacer",
+]

@@ -1,0 +1,100 @@
+"""Runtime monitors: sliding-window measurement providers.
+
+mARGOt attaches monitors (time, throughput, custom) to the managed
+application; the decision maker reads them to detect drift. This
+implementation keeps a bounded window per metric and exposes mean /
+percentile / trend queries. System-state monitors (device contention,
+available accelerators) use the same mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class MetricWindow:
+    """Bounded window of observations for one metric."""
+
+    capacity: int = 32
+    values: Deque[float] = field(default_factory=deque)
+
+    def push(self, value: float) -> None:
+        """Append an observation, evicting the oldest beyond capacity."""
+        self.values.append(value)
+        while len(self.values) > self.capacity:
+            self.values.popleft()
+
+    @property
+    def count(self) -> int:
+        """Observations currently held."""
+        return len(self.values)
+
+    def mean(self) -> float:
+        """Window mean (0 when empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def percentile(self, fraction: float) -> float:
+        """Window percentile by nearest-rank (0 when empty)."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(
+            len(ordered) - 1, max(0, int(fraction * len(ordered)))
+        )
+        return ordered[rank]
+
+    def trend(self) -> float:
+        """Second-half mean minus first-half mean (drift signal)."""
+        if len(self.values) < 4:
+            return 0.0
+        values = list(self.values)
+        half = len(values) // 2
+        first = sum(values[:half]) / half
+        second = sum(values[half:]) / (len(values) - half)
+        return second - first
+
+
+class RuntimeMonitor:
+    """A set of named metric windows."""
+
+    def __init__(self, window: int = 32):
+        check_positive("window", window)
+        self.window = window
+        self._metrics: Dict[str, MetricWindow] = {}
+
+    def record(self, metric: str, value: float) -> None:
+        """Record one observation of a metric."""
+        if metric not in self._metrics:
+            self._metrics[metric] = MetricWindow(capacity=self.window)
+        self._metrics[metric].push(value)
+
+    def mean(self, metric: str) -> float:
+        """Window mean of a metric (0 when unseen)."""
+        window = self._metrics.get(metric)
+        return window.mean() if window else 0.0
+
+    def percentile(self, metric: str, fraction: float) -> float:
+        """Window percentile of a metric."""
+        window = self._metrics.get(metric)
+        return window.percentile(fraction) if window else 0.0
+
+    def trend(self, metric: str) -> float:
+        """Drift of a metric within the window."""
+        window = self._metrics.get(metric)
+        return window.trend() if window else 0.0
+
+    def count(self, metric: str) -> int:
+        """Observation count."""
+        window = self._metrics.get(metric)
+        return window.count if window else 0
+
+    def metrics(self) -> list:
+        """Names of observed metrics."""
+        return sorted(self._metrics)

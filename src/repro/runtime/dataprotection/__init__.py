@@ -1,0 +1,36 @@
+"""Data protection layer (paper §IV item 1, §III-A).
+
+Runtime counterpart of the compile-time security passes:
+
+* :mod:`crypto` — a working software AEAD (SHA-256 keystream +
+  MAC) for data at rest / in transit, plus per-cipher cost models;
+* :mod:`anomaly` — hardware-monitor models that learn the expected
+  data behaviour (timing, access patterns, sizes, ranges) and flag
+  deviations;
+* :mod:`ift` — information-flow tracking across the task graph with
+  egress policy enforcement;
+* :mod:`policy` — the "auto-protection" reaction engine turning
+  detections into mitigations.
+"""
+
+from repro.runtime.dataprotection.crypto import SoftwareAEAD
+from repro.runtime.dataprotection.anomaly import (
+    Anomaly,
+    HardwareMonitor,
+)
+from repro.runtime.dataprotection.ift import FlowTracker
+from repro.runtime.dataprotection.policy import (
+    AutoProtection,
+    Incident,
+    Reaction,
+)
+
+__all__ = [
+    "SoftwareAEAD",
+    "HardwareMonitor",
+    "Anomaly",
+    "FlowTracker",
+    "AutoProtection",
+    "Incident",
+    "Reaction",
+]

@@ -1,0 +1,261 @@
+"""The runtime executor: compiled application → adaptive execution.
+
+Drives repeated invocations of an application's pipeline on a
+simulated node, wiring together all of Fig. 2:
+
+* the **autotuner** selects a variant per kernel per round from the
+  packaged operating points, the current system state and the data
+  features;
+* the **vFPGA manager** loads/reconfigures bitstreams when hardware
+  variants are chosen (first use pays reconfiguration);
+* **hardware monitors** watch observed latencies; anomalies feed the
+  **auto-protection** engine, whose alert state constrains subsequent
+  selections to DIFT-instrumented variants;
+* a configurable **reality model** produces ground-truth latencies and
+  energies that deviate from the compiler's predictions (noise, drift,
+  contention), which is what makes adaptation measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.compiler import CompiledApplication
+from repro.errors import RuntimeSystemError
+from repro.platform.node import Node, build_power9_node
+from repro.platform.power import EnergyMeter
+from repro.runtime.autotuner.data_features import (
+    NOMINAL,
+    DataFeatures,
+)
+from repro.runtime.autotuner.goals import Goal
+from repro.runtime.autotuner.knowledge import (
+    KnowledgeBase,
+    OperatingPoint,
+)
+from repro.runtime.autotuner.manager import (
+    ApplicationManager,
+    SystemState,
+)
+from repro.runtime.dataprotection.anomaly import HardwareMonitor
+from repro.runtime.dataprotection.policy import AutoProtection
+from repro.runtime.virt.hypervisor import Hypervisor
+from repro.runtime.virt.vfpga import VFPGAManager
+from repro.utils.rng import deterministic_rng
+from repro.utils.units import GB
+from repro.workflow.plan import build_task_graph
+
+RealityModel = Callable[
+    [OperatingPoint, SystemState, DataFeatures], Tuple[float, float]
+]
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one pipeline round."""
+
+    index: int
+    latency_s: float
+    energy_j: float
+    selections: Dict[str, str] = field(default_factory=dict)
+    reconfig_s: float = 0.0
+    alerts: int = 0
+
+
+@dataclass
+class ExecutionReport:
+    """Aggregate of a full execution."""
+
+    rounds: List[RoundResult] = field(default_factory=list)
+    energy: EnergyMeter = field(default_factory=EnergyMeter)
+    switches: int = 0
+    incidents: int = 0
+    reconfigurations: int = 0
+
+    @property
+    def total_latency_s(self) -> float:
+        """Sum of round latencies."""
+        return sum(r.latency_s for r in self.rounds)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Sum of round energies."""
+        return sum(r.energy_j for r in self.rounds)
+
+    def mean_latency_s(self) -> float:
+        """Average round latency."""
+        if not self.rounds:
+            return 0.0
+        return self.total_latency_s / len(self.rounds)
+
+    def selections_timeline(self, kernel: str) -> List[str]:
+        """Chosen variant description per round for one kernel."""
+        return [
+            r.selections.get(kernel, "") for r in self.rounds
+        ]
+
+
+def default_reality(seed: str = "reality") -> RealityModel:
+    """Truth = prediction × lognormal noise × state effects.
+
+    The contention/load coefficients intentionally differ from the
+    decision maker's internal model, so feedback learning matters.
+    """
+    rng = deterministic_rng("executor-reality", seed)
+
+    def model(point: OperatingPoint, state: SystemState,
+              features: DataFeatures) -> Tuple[float, float]:
+        is_hw = point.variant.is_hardware
+        latency = point.predicted_latency_s
+        energy = point.predicted_energy_j
+        latency *= features.latency_factor(is_hw)
+        energy *= features.energy_factor(is_hw)
+        if is_hw:
+            latency *= 1.0 + 3.5 * state.fpga_contention
+        else:
+            latency *= 1.0 + 2.4 * state.cpu_load
+        noise = float(rng.lognormal(mean=0.0, sigma=0.08))
+        return latency * noise, energy * noise
+
+    return model
+
+
+class RuntimeExecutor:
+    """Executes a compiled application adaptively."""
+
+    def __init__(
+        self,
+        app: CompiledApplication,
+        node: Optional[Node] = None,
+        goal: Goal = Goal(),
+        reality: Optional[RealityModel] = None,
+        adaptive: bool = True,
+    ):
+        self.app = app
+        self.node = node or build_power9_node()
+        self.knowledge = KnowledgeBase()
+        self.knowledge.load_package(app.package)
+        self.manager = ApplicationManager(self.knowledge, goal=goal)
+        self.reality = reality or default_reality(app.name)
+        self.adaptive = adaptive
+        self.graph = build_task_graph(app)
+        self.monitor = HardwareMonitor(threshold_sigma=4.0,
+                                       min_training=12)
+        self.protection = AutoProtection()
+        self.vfpga: Optional[VFPGAManager] = (
+            VFPGAManager(self.node) if self.node.fpgas else None
+        )
+        self.hypervisor = Hypervisor(self.node)
+        self.vm = self.hypervisor.create_vm(
+            f"{app.name}-vm", vcpus=4, memory_bytes=8 * GB
+        )
+        self.vm.start()
+        self._loaded: Dict[str, object] = {}  # kernel -> lease
+        self._static_selection: Dict[str, OperatingPoint] = {}
+
+    # ------------------------------------------------------------------
+
+    def _select(self, kernel: str, state: SystemState,
+                features: DataFeatures) -> OperatingPoint:
+        if self.adaptive:
+            return self.manager.select(kernel, state, features)
+        if kernel not in self._static_selection:
+            self._static_selection[kernel] = self.manager.select(
+                kernel, SystemState(), NOMINAL
+            )
+        return self._static_selection[kernel]
+
+    def _ensure_loaded(self, kernel: str,
+                       point: OperatingPoint) -> float:
+        """Load/reconfigure the bitstream for a hardware variant."""
+        if not point.variant.is_hardware or self.vfpga is None:
+            return 0.0
+        artifact = self.app.package.artifact_for(point.variant)
+        bitstream = (
+            artifact.payload if artifact is not None
+            and artifact.kind == "bitstream"
+            else point.variant.bitstream
+        )
+        if bitstream is None:
+            return 0.0
+        lease = self._loaded.get(kernel)
+        if lease is not None and \
+                lease.bitstream_name == bitstream.name:
+            return 0.0
+        before = self.vfpga.total_reconfig_seconds
+        if lease is None:
+            lease = self.vfpga.allocate(self.vm, bitstream)
+            self._loaded[kernel] = lease
+        else:
+            self.vfpga.reconfigure(self.vm, lease, bitstream)
+        return self.vfpga.total_reconfig_seconds - before
+
+    # ------------------------------------------------------------------
+
+    def run_round(
+        self,
+        index: int,
+        state: Optional[SystemState] = None,
+        features: Optional[DataFeatures] = None,
+    ) -> RoundResult:
+        """Execute every pipeline task once, sequentially."""
+        state = (state or SystemState()).clamp()
+        features = features or NOMINAL
+        if self.protection.dift_forced:
+            state = SystemState(
+                fpga_available=state.fpga_available,
+                fpga_contention=state.fpga_contention,
+                cpu_load=state.cpu_load,
+                security_alert=True,
+            )
+        result = RoundResult(index=index, latency_s=0.0, energy_j=0.0)
+        for task_name in self.graph.topological_order():
+            kernel = self.graph.tasks[task_name].kernel
+            point = self._select(kernel, state, features)
+            reconfig = self._ensure_loaded(kernel, point)
+            result.reconfig_s += reconfig
+            latency, energy = self.reality(point, state, features)
+            self.manager.report(kernel, point, latency, energy)
+            anomaly = self.monitor.observe(
+                f"{kernel}.timing", latency
+            )
+            if anomaly is not None:
+                self.protection.report_anomaly(anomaly,
+                                               node=self.node.name)
+                result.alerts += 1
+            result.latency_s += latency + reconfig
+            result.energy_j += energy
+            result.selections[kernel] = point.variant.knobs.describe()
+        return result
+
+    def run(
+        self,
+        rounds: int,
+        schedule: Optional[Callable[[int],
+                                    Tuple[SystemState,
+                                          DataFeatures]]] = None,
+    ) -> ExecutionReport:
+        """Run many rounds under a workload schedule."""
+        if rounds <= 0:
+            raise RuntimeSystemError("rounds must be positive")
+        report = ExecutionReport()
+        for index in range(rounds):
+            if schedule is not None:
+                state, features = schedule(index)
+            else:
+                state, features = SystemState(), NOMINAL
+            round_result = self.run_round(index, state, features)
+            report.rounds.append(round_result)
+            report.energy.add(
+                self.node.name, round_result.energy_j, "compute"
+            )
+        report.switches = self.manager.switches
+        report.incidents = len(self.protection.incidents)
+        if self.vfpga is not None:
+            report.reconfigurations = sum(
+                role.reconfigurations
+                for device in self.node.fpgas
+                for role in device.roles
+            )
+        return report

@@ -1,0 +1,24 @@
+"""Virtualization layer (paper §IV item 3, [32, 33]).
+
+A cooperative model of the EVEREST virtualized environment: a
+:class:`~repro.runtime.virt.hypervisor.Hypervisor` per node hosts
+:class:`~repro.runtime.virt.vm.VM` guests; the
+:class:`~repro.runtime.virt.vfpga.VFPGAManager` multiplexes FPGA role
+slots among VMs with isolation (vFPGAmanager [33]); and
+:class:`~repro.runtime.virt.remoting.APIRemoting` models the cost of
+guest-to-device invocation paths.
+"""
+
+from repro.runtime.virt.vm import VM, VMState
+from repro.runtime.virt.hypervisor import Hypervisor
+from repro.runtime.virt.vfpga import VFPGAManager
+from repro.runtime.virt.remoting import APIRemoting, RemotingMode
+
+__all__ = [
+    "VM",
+    "VMState",
+    "Hypervisor",
+    "VFPGAManager",
+    "APIRemoting",
+    "RemotingMode",
+]

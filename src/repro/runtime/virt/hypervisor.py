@@ -1,0 +1,133 @@
+"""Hypervisor: VM lifecycle and resource admission on one node.
+
+Models the host-side extensions of Fig. 2: guests get vCPUs and memory
+from the node envelope (with a configurable overcommit ratio for
+vCPUs, none for memory), and live migration between hypervisors pays a
+downtime proportional to guest memory over the connecting link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import VirtualizationError
+from repro.platform.interconnect import Link
+from repro.platform.node import Node
+from repro.runtime.virt.vm import VM, VMState
+from repro.utils.validation import check_positive
+
+#: Fixed hypervisor reserve of host memory.
+_HOST_RESERVE_FRACTION = 0.05
+
+
+class Hypervisor:
+    """One hypervisor instance managing a node's guests."""
+
+    def __init__(self, node: Node, vcpu_overcommit: float = 2.0):
+        if node.cpu is None:
+            raise VirtualizationError(
+                f"node {node.name!r} has no CPU to virtualize"
+            )
+        check_positive("vcpu_overcommit", vcpu_overcommit)
+        self.node = node
+        self.vcpu_overcommit = vcpu_overcommit
+        self.vms: Dict[str, VM] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def vcpu_capacity(self) -> int:
+        """Total vCPUs the admission control allows."""
+        return int(self.node.cpu.cores * self.vcpu_overcommit)
+
+    @property
+    def vcpus_committed(self) -> int:
+        """vCPUs assigned to non-stopped guests."""
+        return sum(
+            vm.vcpus for vm in self.vms.values()
+            if vm.state is not VMState.STOPPED
+        )
+
+    @property
+    def memory_capacity(self) -> int:
+        """Guest-assignable host memory in bytes."""
+        host = self.node.host_memory()
+        if host is None:
+            raise VirtualizationError(
+                f"node {self.node.name!r} has no host memory"
+            )
+        return int(host.capacity_bytes * (1 - _HOST_RESERVE_FRACTION))
+
+    @property
+    def memory_committed(self) -> int:
+        """Bytes promised to non-stopped guests."""
+        return sum(
+            vm.memory_bytes for vm in self.vms.values()
+            if vm.state is not VMState.STOPPED
+        )
+
+    # ------------------------------------------------------------------
+
+    def create_vm(self, name: str, vcpus: int, memory_bytes: int,
+                  arch: Optional[str] = None) -> VM:
+        """Define and admit a guest; raises when over capacity."""
+        if name in self.vms:
+            raise VirtualizationError(f"duplicate VM name {name!r}")
+        if self.vcpus_committed + vcpus > self.vcpu_capacity:
+            raise VirtualizationError(
+                f"node {self.node.name!r}: vCPU admission failed "
+                f"({self.vcpus_committed}+{vcpus} > "
+                f"{self.vcpu_capacity})"
+            )
+        if self.memory_committed + memory_bytes > self.memory_capacity:
+            raise VirtualizationError(
+                f"node {self.node.name!r}: memory admission failed"
+            )
+        vm = VM(
+            name=name,
+            vcpus=vcpus,
+            memory_bytes=memory_bytes,
+            arch=arch or self.node.arch,
+        )
+        self.vms[name] = vm
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Remove a guest entirely."""
+        if name not in self.vms:
+            raise VirtualizationError(f"no VM named {name!r}")
+        del self.vms[name]
+
+    def boot_time_s(self, vm: VM) -> float:
+        """Guest boot latency model."""
+        base = 1.5  # kernel + init
+        return base + vm.memory_bytes / 64e9
+
+    # ------------------------------------------------------------------
+
+    def migrate(self, name: str, target: "Hypervisor",
+                link: Link) -> float:
+        """Live-migrate a guest; returns the downtime in seconds.
+
+        Pre-copy model: one full memory pass over the link plus a stop
+        and-copy of 5% dirty pages; the VM keeps its name and devices
+        must be detached first (passthrough blocks migration).
+        """
+        if name not in self.vms:
+            raise VirtualizationError(f"no VM named {name!r}")
+        vm = self.vms[name]
+        if vm.devices:
+            raise VirtualizationError(
+                f"VM {name!r} has passthrough devices "
+                f"{vm.devices}; detach before migration"
+            )
+        if target.vcpus_committed + vm.vcpus > target.vcpu_capacity:
+            raise VirtualizationError(
+                f"target {target.node.name!r} cannot admit {name!r}"
+            )
+        precopy = link.transfer_time(vm.memory_bytes)
+        downtime = link.transfer_time(int(vm.memory_bytes * 0.05))
+        del self.vms[name]
+        target.vms[name] = vm
+        return precopy + downtime

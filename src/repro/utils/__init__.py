@@ -1,0 +1,36 @@
+"""Shared utilities: deterministic RNG, unit helpers, table formatting."""
+
+from repro.utils.rng import deterministic_rng, stable_hash
+from repro.utils.tables import Table
+from repro.utils.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    format_bytes,
+    format_seconds,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "deterministic_rng",
+    "stable_hash",
+    "Table",
+    "KB",
+    "MB",
+    "GB",
+    "MHZ",
+    "GHZ",
+    "format_bytes",
+    "format_seconds",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+]

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benchmarks print the rows a paper table/figure would contain; this module
+renders them with aligned columns so the harness output is readable in a
+terminal and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Table:
+    """An append-only table with a title and fixed column headers."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; the number of values must match the headers."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_render_cell(value) for value in values])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append many rows at once."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, separator, fmt(self.columns), separator]
+        lines.extend(fmt(row) for row in self.rows)
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table surrounded by blank lines."""
+        print()
+        print(self.render())
+        print()

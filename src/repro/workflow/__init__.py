@@ -1,0 +1,45 @@
+"""Distributed workflow execution platform (HyperLoom [10], §III-A).
+
+EVEREST executes "complex workflows in large scale distributed
+environments with various virtualized heterogeneous resources". This
+package provides the engine: task graphs with data objects
+(:mod:`graph`), workers bound to platform nodes (:mod:`worker`),
+scheduling policies including HyperLoom's b-level heuristic
+(:mod:`scheduler`), an orchestration server (:mod:`server`), and
+execution traces (:mod:`tracing`).
+"""
+
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+from repro.workflow.worker import Worker
+from repro.workflow.scheduler import (
+    BLevelScheduler,
+    FIFOScheduler,
+    LocalityScheduler,
+    SchedulerPolicy,
+)
+from repro.workflow.server import WorkflowServer
+from repro.workflow.recovery import (
+    FailureInjection,
+    RecoveryStats,
+    ResilientServer,
+    migrate_task,
+)
+from repro.workflow.tracing import ExecutionTrace, TaskRecord
+
+__all__ = [
+    "TaskGraph",
+    "WorkflowTask",
+    "DataObject",
+    "Worker",
+    "SchedulerPolicy",
+    "FIFOScheduler",
+    "BLevelScheduler",
+    "LocalityScheduler",
+    "WorkflowServer",
+    "ResilientServer",
+    "FailureInjection",
+    "RecoveryStats",
+    "migrate_task",
+    "ExecutionTrace",
+    "TaskRecord",
+]

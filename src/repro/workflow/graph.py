@@ -1,0 +1,182 @@
+"""Task graphs and data objects.
+
+A :class:`TaskGraph` is a DAG of :class:`WorkflowTask` nodes connected
+through named :class:`DataObject` edges, mirroring HyperLoom's plan
+model: tasks declare the objects they consume and produce; objects
+carry sizes so schedulers can reason about movement cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.errors import WorkflowError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class DataObject:
+    """A named piece of data flowing between tasks."""
+
+    name: str
+    size_bytes: int = 0
+    producer: Optional[str] = None  # task name; None = external input
+    locality: str = ""  # preferred/initial node name
+
+    def __post_init__(self):
+        check_non_negative("size_bytes", self.size_bytes)
+
+
+@dataclass
+class WorkflowTask:
+    """One schedulable unit of work."""
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    duration_s: float = 1e-3  # nominal duration on a reference core
+    cpus: int = 1
+    kernel: str = ""  # optional compiled-kernel binding
+    payload: Optional[Callable] = None  # optional direct callable
+    constraints: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        check_positive("cpus", self.cpus)
+        check_non_negative("duration_s", self.duration_s)
+
+
+class TaskGraph:
+    """A validated DAG of tasks and data objects."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.tasks: Dict[str, WorkflowTask] = {}
+        self.objects: Dict[str, DataObject] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_object(self, obj: DataObject) -> DataObject:
+        """Register a data object."""
+        if obj.name in self.objects:
+            raise WorkflowError(f"duplicate data object {obj.name!r}")
+        self.objects[obj.name] = obj
+        return obj
+
+    def add_task(self, task: WorkflowTask) -> WorkflowTask:
+        """Register a task; its outputs are created as objects."""
+        if task.name in self.tasks:
+            raise WorkflowError(f"duplicate task {task.name!r}")
+        for input_name in task.inputs:
+            if input_name not in self.objects:
+                raise WorkflowError(
+                    f"task {task.name!r}: unknown input object "
+                    f"{input_name!r}"
+                )
+        for output_name in task.outputs:
+            if output_name in self.objects:
+                raise WorkflowError(
+                    f"task {task.name!r}: output {output_name!r} "
+                    f"already produced elsewhere"
+                )
+            self.objects[output_name] = DataObject(
+                name=output_name, producer=task.name
+            )
+        self.tasks[task.name] = task
+        return task
+
+    def set_object_size(self, name: str, size_bytes: int) -> None:
+        """Set the size of an object (e.g. after estimation)."""
+        if name not in self.objects:
+            raise WorkflowError(f"unknown object {name!r}")
+        check_non_negative("size_bytes", size_bytes)
+        self.objects[name].size_bytes = size_bytes
+
+    # ------------------------------------------------------------------
+
+    def dependencies(self, task_name: str) -> List[str]:
+        """Names of tasks that must finish before this one starts."""
+        task = self.tasks[task_name]
+        result = []
+        for input_name in task.inputs:
+            producer = self.objects[input_name].producer
+            if producer is not None and producer not in result:
+                result.append(producer)
+        return result
+
+    def consumers(self, task_name: str) -> List[str]:
+        """Tasks consuming any output of the given task."""
+        outputs = set(self.tasks[task_name].outputs)
+        return [
+            other.name
+            for other in self.tasks.values()
+            if outputs.intersection(other.inputs)
+        ]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Task-level dependency digraph."""
+        graph = nx.DiGraph()
+        for name in self.tasks:
+            graph.add_node(name)
+        for name in self.tasks:
+            for dependency in self.dependencies(name):
+                graph.add_edge(dependency, name)
+        return graph
+
+    def validate(self) -> None:
+        """Check acyclicity and input availability."""
+        graph = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise WorkflowError(f"workflow contains a cycle: {cycle}")
+
+    def topological_order(self) -> List[str]:
+        """Tasks in a valid execution order."""
+        self.validate()
+        return list(nx.topological_sort(self.to_networkx()))
+
+    # ------------------------------------------------------------------
+
+    def b_levels(self) -> Dict[str, float]:
+        """HyperLoom-style bottom levels: longest path to a sink.
+
+        The b-level of a task is its own duration plus the maximum
+        b-level of its consumers; scheduling the largest first keeps
+        the critical path moving.
+        """
+        self.validate()
+        levels: Dict[str, float] = {}
+        for name in reversed(self.topological_order()):
+            task = self.tasks[name]
+            consumer_level = max(
+                (levels[consumer] for consumer in self.consumers(name)),
+                default=0.0,
+            )
+            levels[name] = task.duration_s + consumer_level
+        return levels
+
+    def critical_path_length(self) -> float:
+        """Duration of the longest dependency chain."""
+        levels = self.b_levels()
+        return max(levels.values(), default=0.0)
+
+    def total_work(self) -> float:
+        """Sum of all task durations (serial execution time)."""
+        return sum(task.duration_s for task in self.tasks.values())
+
+    def external_inputs(self) -> List[DataObject]:
+        """Objects with no producer (fed from outside)."""
+        return [
+            obj for obj in self.objects.values() if obj.producer is None
+        ]
+
+    def roots(self) -> List[str]:
+        """Tasks with no task dependencies."""
+        return [
+            name for name in self.tasks if not self.dependencies(name)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tasks)

@@ -1,0 +1,356 @@
+"""Fault tolerance and migration for the workflow engine.
+
+Paper §IV: "Tasks are defined in a way that allows runtime migration
+of both data and computations" and the runtime can "seamlessly move
+the computation between edge nodes and also between edge and cloud
+parts". This module provides:
+
+* :class:`FailureInjection` — a worker crash at a simulated time;
+* :class:`ResilientServer` — a workflow server that survives crashes:
+  running tasks on a dead worker are re-queued, objects whose only
+  copy died are recovered through *lineage* (their producer chain is
+  re-executed), and external inputs are re-fetched from durable
+  storage at their home site.
+
+The recovery model mirrors Spark/HyperLoom lineage: nothing is
+checkpointed, everything is recomputable from the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import WorkflowError
+from repro.platform.simulator import Simulator
+from repro.platform.topology import Ecosystem
+from repro.workflow.graph import TaskGraph
+from repro.workflow.scheduler import BLevelScheduler, SchedulerPolicy
+from repro.workflow.tracing import ExecutionTrace, TaskRecord
+from repro.workflow.worker import Worker
+
+
+@dataclass(frozen=True)
+class FailureInjection:
+    """Crash ``worker`` at simulated ``at_time`` seconds."""
+
+    worker: str
+    at_time: float
+
+
+@dataclass
+class RecoveryStats:
+    """What fault handling did during a run."""
+
+    failures: int = 0
+    tasks_requeued: int = 0
+    objects_lost: int = 0
+    tasks_relineaged: int = 0
+    inputs_refetched: int = 0
+
+
+class ResilientServer:
+    """Workflow server with crash recovery and task re-execution."""
+
+    def __init__(
+        self,
+        workers: List[Worker],
+        ecosystem: Optional[Ecosystem] = None,
+        policy: Optional[SchedulerPolicy] = None,
+        refetch_latency_s: float = 0.05,
+    ):
+        if not workers:
+            raise WorkflowError("server needs at least one worker")
+        self.workers = list(workers)
+        self.ecosystem = ecosystem
+        self.policy = policy or BLevelScheduler()
+        self.refetch_latency_s = refetch_latency_s
+        self._failed: Set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def _alive(self) -> List[Worker]:
+        return [w for w in self.workers if w.name not in self._failed]
+
+    def _transfer_seconds(self, source: str, target: str,
+                          size_bytes: int) -> float:
+        if source == target or size_bytes == 0:
+            return 0.0
+        if self.ecosystem is not None:
+            src_node = next(
+                w.node_name for w in self.workers if w.name == source
+            )
+            dst_node = next(
+                w.node_name for w in self.workers if w.name == target
+            )
+            if src_node == dst_node:
+                return 0.0
+            return self.ecosystem.transfer_time(
+                src_node, dst_node, size_bytes
+            )
+        return 1e-3 + size_bytes / 1e9
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        graph: TaskGraph,
+        failures: Optional[List[FailureInjection]] = None,
+    ) -> tuple:
+        """Execute with crash recovery.
+
+        Returns (trace, recovery stats). Raises
+        :class:`WorkflowError` if every worker dies.
+        """
+        graph.validate()
+        self.policy.prepare(graph)
+        self._failed = set()
+        stats = RecoveryStats()
+        trace = ExecutionTrace(
+            graph_name=graph.name,
+            policy=f"{self.policy.name}+recovery",
+        )
+
+        sim = Simulator()
+        locations: Dict[str, str] = {}
+        homes: Dict[str, str] = {}
+        for obj in graph.external_inputs():
+            home = obj.locality or self.workers[0].name
+            worker = next(
+                (w for w in self.workers
+                 if w.name == home or w.node_name == home),
+                self.workers[0],
+            )
+            locations[obj.name] = worker.name
+            homes[obj.name] = worker.name
+            worker.store.add(obj.name)
+
+        finished: Set[str] = set()
+        running: Dict[str, Worker] = {}
+        ready: List[str] = []
+        ready_at: Dict[str, float] = {}
+        wake = {"event": sim.event()}
+
+        def deps_satisfied(task_name: str) -> bool:
+            return all(
+                dependency in finished
+                for dependency in graph.dependencies(task_name)
+            )
+
+        def mark_ready(task_name: str) -> None:
+            if (
+                task_name not in ready
+                and task_name not in running
+                and task_name not in finished
+            ):
+                ready.append(task_name)
+                ready_at[task_name] = sim.now
+
+        for task_name in graph.topological_order():
+            if deps_satisfied(task_name):
+                mark_ready(task_name)
+
+        def transfer_cost(task_name: str, worker: Worker) -> float:
+            total = 0.0
+            for input_name in graph.tasks[task_name].inputs:
+                if worker.holds(input_name):
+                    continue
+                total += self._transfer_seconds(
+                    locations[input_name], worker.name,
+                    graph.objects[input_name].size_bytes,
+                )
+            return total
+
+        def poke() -> None:
+            if not wake["event"].triggered:
+                wake["event"].trigger()
+
+        def run_task(task_name: str, worker: Worker):
+            task = graph.tasks[task_name]
+            start_ready = ready_at.get(task_name, sim.now)
+            start = sim.now
+            staging = 0.0
+            moved = 0
+            aborted = False
+            for input_name in task.inputs:
+                if worker.holds(input_name):
+                    continue
+                seconds = self._transfer_seconds(
+                    locations[input_name], worker.name,
+                    graph.objects[input_name].size_bytes,
+                )
+                if seconds:
+                    yield sim.timeout(seconds)
+                if worker.name in self._failed:
+                    aborted = True
+                    break
+                staging += seconds
+                moved += graph.objects[input_name].size_bytes
+                worker.store.add(input_name)
+            if not aborted:
+                yield sim.timeout(worker.execution_time(task.duration_s))
+                aborted = worker.name in self._failed
+            running.pop(task_name, None)
+            if aborted:
+                stats.tasks_requeued += 1
+                if deps_satisfied(task_name):
+                    mark_ready(task_name)
+                poke()
+                return
+            worker.busy_seconds += task.duration_s * task.cpus
+            worker.tasks_executed += 1
+            worker.release(task.cpus)
+            for output_name in task.outputs:
+                locations[output_name] = worker.name
+                worker.store.add(output_name)
+            finished.add(task_name)
+            trace.add(TaskRecord(
+                task=task_name, worker=worker.name,
+                ready_at=start_ready, start=start, end=sim.now,
+                transfer_seconds=staging, bytes_moved=moved,
+            ))
+            for consumer in graph.consumers(task_name):
+                if deps_satisfied(consumer):
+                    mark_ready(consumer)
+            poke()
+
+        def invalidate(task_name: str, seen: Set[str]) -> None:
+            """Lineage: re-run a task whose output was lost."""
+            if task_name in seen:
+                return
+            seen.add(task_name)
+            if task_name in finished:
+                finished.discard(task_name)
+                stats.tasks_relineaged += 1
+            for output_name in graph.tasks[task_name].outputs:
+                locations.pop(output_name, None)
+                for worker in self.workers:
+                    worker.store.discard(output_name)
+                for consumer in graph.consumers(task_name):
+                    invalidate(consumer, seen)
+            if deps_satisfied(task_name):
+                mark_ready(task_name)
+
+        def fail_worker(injection: FailureInjection):
+            yield sim.timeout(injection.at_time)
+            victim = next(
+                (w for w in self.workers
+                 if w.name == injection.worker), None,
+            )
+            if victim is None:
+                raise WorkflowError(
+                    f"failure names unknown worker "
+                    f"{injection.worker!r}"
+                )
+            self._failed.add(victim.name)
+            stats.failures += 1
+            lost_objects = set(victim.store)
+            victim.store.clear()
+            seen: Set[str] = set()
+            for object_name in sorted(lost_objects):
+                # other copies survive only if some live worker holds it
+                if any(
+                    w.holds(object_name) for w in self._alive()
+                ):
+                    survivor = next(
+                        w for w in self._alive()
+                        if w.holds(object_name)
+                    )
+                    locations[object_name] = survivor.name
+                    continue
+                stats.objects_lost += 1
+                producer = graph.objects[object_name].producer
+                if producer is None:
+                    # durable external input: re-fetch to its home
+                    home = homes[object_name]
+                    target = next(
+                        (w for w in self._alive()
+                         if w.name == home), None,
+                    ) or (self._alive()[0] if self._alive() else None)
+                    if target is not None:
+                        yield sim.timeout(self.refetch_latency_s)
+                        target.store.add(object_name)
+                        locations[object_name] = target.name
+                        stats.inputs_refetched += 1
+                else:
+                    invalidate(producer, seen)
+            # tasks consuming now-invalid inputs get re-marked when
+            # their lineage completes; re-check ready set
+            for task_name in graph.tasks:
+                if (
+                    task_name not in finished
+                    and task_name not in running
+                    and deps_satisfied(task_name)
+                ):
+                    mark_ready(task_name)
+            poke()
+
+        for injection in failures or []:
+            sim.process(fail_worker(injection),
+                        name=f"fail:{injection.worker}")
+
+        def dispatcher():
+            while len(finished) < len(graph.tasks):
+                if not self._alive():
+                    raise WorkflowError(
+                        "all workers failed; workflow cannot complete"
+                    )
+                launched = True
+                while launched:
+                    launchable = [
+                        name for name in ready
+                        if deps_satisfied(name)
+                    ]
+                    choice = self.policy.select(
+                        launchable, self._alive(), graph, locations,
+                        transfer_cost,
+                    ) if launchable else None
+                    if choice is None:
+                        launched = False
+                    else:
+                        task_name, worker = choice
+                        ready.remove(task_name)
+                        worker.acquire(graph.tasks[task_name].cpus)
+                        running[task_name] = worker
+                        sim.process(
+                            run_task(task_name, worker),
+                            name=f"task:{task_name}",
+                        )
+                if len(finished) >= len(graph.tasks):
+                    break
+                wake["event"] = sim.event()
+                yield wake["event"]
+            return None
+
+        sim.run_process(dispatcher(), name="dispatcher")
+        return trace, stats
+
+
+def migrate_task(
+    graph: TaskGraph,
+    task_name: str,
+    source: Worker,
+    target: Worker,
+    ecosystem: Optional[Ecosystem] = None,
+) -> float:
+    """Cost of migrating a *pending* task's inputs between workers.
+
+    Moving the computation means moving its not-yet-consumed inputs;
+    returns the staging seconds the move would add, so a placement
+    layer can decide whether migration pays.
+    """
+    if task_name not in graph.tasks:
+        raise WorkflowError(f"unknown task {task_name!r}")
+    total = 0.0
+    for input_name in graph.tasks[task_name].inputs:
+        if target.holds(input_name):
+            continue
+        size = graph.objects[input_name].size_bytes
+        if ecosystem is not None and source.node_name != \
+                target.node_name:
+            total += ecosystem.transfer_time(
+                source.node_name, target.node_name, size
+            )
+        elif source.name != target.name:
+            total += 1e-3 + size / 1e9
+    return total

@@ -1,0 +1,207 @@
+"""The workflow orchestration server.
+
+Runs a :class:`~repro.workflow.graph.TaskGraph` over a pool of
+:class:`~repro.workflow.worker.Worker` instances on the discrete-event
+simulator, staging data objects between workers (through the ecosystem
+topology when one is provided) and producing an
+:class:`~repro.workflow.tracing.ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import WorkflowError
+from repro.platform.simulator import Simulator
+from repro.platform.topology import Ecosystem
+from repro.workflow.graph import TaskGraph
+from repro.workflow.scheduler import (
+    BLevelScheduler,
+    SchedulerPolicy,
+)
+from repro.workflow.tracing import ExecutionTrace, TaskRecord
+from repro.workflow.worker import Worker
+
+#: Default inter-worker staging model when no ecosystem is given.
+_DEFAULT_LATENCY_S = 1e-3
+_DEFAULT_BANDWIDTH = 1e9  # bytes/second
+
+
+class WorkflowServer:
+    """Executes task graphs over a worker pool."""
+
+    def __init__(
+        self,
+        workers: List[Worker],
+        ecosystem: Optional[Ecosystem] = None,
+        policy: Optional[SchedulerPolicy] = None,
+    ):
+        if not workers:
+            raise WorkflowError("server needs at least one worker")
+        names = {worker.name for worker in workers}
+        if len(names) != len(workers):
+            raise WorkflowError("worker names must be unique")
+        self.workers = list(workers)
+        self.ecosystem = ecosystem
+        self.policy = policy or BLevelScheduler()
+
+    # ------------------------------------------------------------------
+
+    def _transfer_seconds(self, source_worker: str, target_worker: str,
+                          size_bytes: int) -> float:
+        if source_worker == target_worker or size_bytes == 0:
+            return 0.0
+        if self.ecosystem is not None:
+            source = self._worker(source_worker).node_name
+            target = self._worker(target_worker).node_name
+            if source == target:
+                return 0.0
+            return self.ecosystem.transfer_time(source, target,
+                                                size_bytes)
+        return _DEFAULT_LATENCY_S + size_bytes / _DEFAULT_BANDWIDTH
+
+    def _worker(self, name: str) -> Worker:
+        for worker in self.workers:
+            if worker.name == name:
+                return worker
+        raise WorkflowError(f"unknown worker {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> ExecutionTrace:
+        """Execute the graph to completion; returns the trace."""
+        graph.validate()
+        self.policy.prepare(graph)
+        trace = ExecutionTrace(
+            graph_name=graph.name, policy=self.policy.name
+        )
+
+        sim = Simulator()
+        locations: Dict[str, str] = {}
+        # External inputs start on their preferred worker (or the first).
+        for obj in graph.external_inputs():
+            home = obj.locality or self.workers[0].name
+            try:
+                worker = self._worker(home)
+            except WorkflowError:
+                # locality names a node: find a worker on that node
+                matches = [
+                    w for w in self.workers if w.node_name == home
+                ]
+                worker = matches[0] if matches else self.workers[0]
+            locations[obj.name] = worker.name
+            worker.store.add(obj.name)
+
+        remaining_deps: Dict[str, int] = {
+            name: len(graph.dependencies(name)) for name in graph.tasks
+        }
+        ready: List[str] = [
+            name for name in graph.topological_order()
+            if remaining_deps[name] == 0
+        ]
+        ready_at: Dict[str, float] = {name: 0.0 for name in ready}
+        finished: List[str] = []
+        wake = {"event": sim.event()}
+
+        def transfer_cost(task_name: str, worker: Worker) -> float:
+            total = 0.0
+            for input_name in graph.tasks[task_name].inputs:
+                if worker.holds(input_name):
+                    continue
+                source = locations.get(input_name)
+                if source is None:
+                    raise WorkflowError(
+                        f"object {input_name!r} has no location"
+                    )
+                total += self._transfer_seconds(
+                    source, worker.name,
+                    graph.objects[input_name].size_bytes,
+                )
+            return total
+
+        def run_task(task_name: str, worker: Worker):
+            task = graph.tasks[task_name]
+            start_ready = ready_at[task_name]
+            start = sim.now
+            staging = 0.0
+            moved = 0
+            for input_name in task.inputs:
+                if worker.holds(input_name):
+                    continue
+                source = locations[input_name]
+                size = graph.objects[input_name].size_bytes
+                seconds = self._transfer_seconds(
+                    source, worker.name, size
+                )
+                if seconds:
+                    yield sim.timeout(seconds)
+                staging += seconds
+                moved += size
+                worker.store.add(input_name)
+            duration = worker.execution_time(task.duration_s)
+            if task.payload is not None:
+                task.payload()
+            yield sim.timeout(duration)
+            worker.busy_seconds += duration * task.cpus
+            worker.tasks_executed += 1
+            for output_name in task.outputs:
+                locations[output_name] = worker.name
+                worker.store.add(output_name)
+            worker.release(task.cpus)
+            trace.add(TaskRecord(
+                task=task_name,
+                worker=worker.name,
+                ready_at=start_ready,
+                start=start,
+                end=sim.now,
+                transfer_seconds=staging,
+                bytes_moved=moved,
+            ))
+            finished.append(task_name)
+            for consumer in graph.consumers(task_name):
+                remaining_deps[consumer] -= 1
+                if remaining_deps[consumer] == 0:
+                    ready.append(consumer)
+                    ready_at[consumer] = sim.now
+            if not wake["event"].triggered:
+                wake["event"].trigger()
+
+        def dispatcher():
+            while len(finished) < len(graph.tasks):
+                launched = True
+                while launched and ready:
+                    choice = self.policy.select(
+                        ready, self.workers, graph, locations,
+                        transfer_cost,
+                    )
+                    if choice is None:
+                        launched = False
+                    else:
+                        task_name, worker = choice
+                        ready.remove(task_name)
+                        worker.acquire(graph.tasks[task_name].cpus)
+                        sim.process(
+                            run_task(task_name, worker),
+                            name=f"task:{task_name}",
+                        )
+                if len(finished) >= len(graph.tasks):
+                    break
+                wake["event"] = sim.event()
+                yield wake["event"]
+            return None
+
+        sim.run_process(dispatcher(), name="dispatcher")
+        return trace
+
+    # ------------------------------------------------------------------
+
+    def total_slots(self) -> int:
+        """Total CPU slots across workers."""
+        return sum(worker.cpus for worker in self.workers)
+
+    def describe(self) -> str:
+        """One-line pool summary."""
+        return (
+            f"{len(self.workers)} workers / {self.total_slots()} slots, "
+            f"policy={self.policy.name}"
+        )

@@ -1,0 +1,72 @@
+"""Execution traces of workflow runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TaskRecord:
+    """Timing of one executed task."""
+
+    task: str
+    worker: str
+    ready_at: float
+    start: float
+    end: float
+    transfer_seconds: float = 0.0
+    bytes_moved: int = 0
+
+    @property
+    def wait_seconds(self) -> float:
+        """Queueing delay between readiness and start."""
+        return self.start - self.ready_at
+
+    @property
+    def duration(self) -> float:
+        """Wall duration including input staging."""
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """The full record of one workflow execution."""
+
+    graph_name: str
+    policy: str
+    records: List[TaskRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    bytes_moved: int = 0
+
+    def add(self, record: TaskRecord) -> None:
+        """Append a task record, extending the makespan."""
+        self.records.append(record)
+        self.makespan = max(self.makespan, record.end)
+        self.bytes_moved += record.bytes_moved
+
+    def per_worker_counts(self) -> Dict[str, int]:
+        """Tasks executed per worker."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.worker] = counts.get(record.worker, 0) + 1
+        return counts
+
+    def average_wait(self) -> float:
+        """Mean queueing delay across tasks."""
+        if not self.records:
+            return 0.0
+        return sum(r.wait_seconds for r in self.records) / len(
+            self.records
+        )
+
+    def total_transfer_seconds(self) -> float:
+        """Cumulative input-staging time."""
+        return sum(r.transfer_seconds for r in self.records)
+
+    def utilization(self, total_slots: int) -> float:
+        """Aggregate busy fraction across all worker slots."""
+        if self.makespan <= 0 or total_slots <= 0:
+            return 0.0
+        busy = sum(r.duration for r in self.records)
+        return min(1.0, busy / (self.makespan * total_slots))

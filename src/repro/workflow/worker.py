@@ -1,0 +1,75 @@
+"""Workers: execution slots bound to platform nodes.
+
+A worker advertises CPU slots and holds a local store of data objects;
+the scheduler moves objects between workers over the ecosystem's links
+when a task runs away from its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.errors import WorkflowError
+from repro.platform.node import Node
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Worker:
+    """One worker process on a platform node."""
+
+    name: str
+    node_name: str
+    cpus: int = 4
+    speed_factor: float = 1.0  # relative to the reference core
+    node: Optional[Node] = None
+    store: Set[str] = field(default_factory=set)
+    busy_cpus: int = field(default=0, init=False)
+    tasks_executed: int = field(default=0, init=False)
+    busy_seconds: float = field(default=0.0, init=False)
+
+    def __post_init__(self):
+        check_positive("cpus", self.cpus)
+        check_positive("speed_factor", self.speed_factor)
+
+    @property
+    def free_cpus(self) -> int:
+        """Slots currently available."""
+        return self.cpus - self.busy_cpus
+
+    def can_run(self, cpus: int) -> bool:
+        """True when enough free slots exist."""
+        return self.free_cpus >= cpus
+
+    def acquire(self, cpus: int) -> None:
+        """Reserve slots for a task."""
+        if not self.can_run(cpus):
+            raise WorkflowError(
+                f"worker {self.name!r}: requested {cpus} cpus, only "
+                f"{self.free_cpus} free"
+            )
+        self.busy_cpus += cpus
+
+    def release(self, cpus: int) -> None:
+        """Return slots after a task finishes."""
+        if cpus > self.busy_cpus:
+            raise WorkflowError(
+                f"worker {self.name!r}: releasing {cpus} cpus but only "
+                f"{self.busy_cpus} busy"
+            )
+        self.busy_cpus -= cpus
+
+    def holds(self, object_name: str) -> bool:
+        """True when the object is in this worker's local store."""
+        return object_name in self.store
+
+    def execution_time(self, duration_s: float) -> float:
+        """Wall time of a task with nominal duration on this worker."""
+        return duration_s / self.speed_factor
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over an elapsed window."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed * self.cpus))

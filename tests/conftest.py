@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.core.ir.module import Module
+
+GEMM_SRC = """
+kernel gemm(A: tensor<16x16xf32>, B: tensor<16x16xf32>)
+        -> tensor<16x16xf32> {
+  C = A @ B
+  return C
+}
+"""
+
+MLP_SRC = """
+kernel mlp(X: tensor<16x8xf32>, W0: tensor<8x4xf32>,
+           B0: tensor<16x4xf32>, W1: tensor<4x2xf32>,
+           B1: tensor<16x2xf32>) -> tensor<16x2xf32> {
+  H = relu(X @ W0 + B0)
+  Y = sigmoid(H @ W1 + B1)
+  return Y
+}
+"""
+
+STREAM_SRC = """
+kernel stream(X: tensor<256xf32>, Y: tensor<256xf32>)
+        -> tensor<256xf32> {
+  Z = exp(X) * Y + X
+  return Z
+}
+"""
+
+SENSITIVE_SRC = """
+kernel score(X: tensor<8x8xf32> @sensitive, W: tensor<8x8xf32>)
+        -> tensor<8x8xf32> {
+  Y = relu(X @ W)
+  return Y
+}
+"""
+
+
+@pytest.fixture
+def gemm_module() -> Module:
+    return compile_kernel(GEMM_SRC)
+
+
+@pytest.fixture
+def mlp_module() -> Module:
+    return compile_kernel(MLP_SRC)
+
+
+@pytest.fixture
+def stream_module() -> Module:
+    return compile_kernel(STREAM_SRC)
+
+
+@pytest.fixture
+def sensitive_module() -> Module:
+    return compile_kernel(SENSITIVE_SRC)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,195 @@
+"""Tests for annotations and the pipeline builder."""
+
+import pytest
+
+from repro.core.dsl.annotations import (
+    AnnotationSet,
+    DataAnnotation,
+    Locality,
+    Requirement,
+    RequirementKind,
+    SecurityAnnotation,
+    Sensitivity,
+)
+from repro.core.dsl.workflow import Pipeline
+from repro.core.ir import F32, TensorType
+from repro.errors import SpecificationError
+
+KERNEL = """
+kernel double(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = X * 2.0
+  return Y
+}
+"""
+
+
+class TestDataAnnotation:
+    def test_streaming_flag(self):
+        streaming = DataAnnotation("s", velocity_bytes_per_s=100.0)
+        at_rest = DataAnnotation("r", volume_bytes=100)
+        assert streaming.is_streaming
+        assert not at_rest.is_streaming
+
+    def test_invalid_pattern(self):
+        with pytest.raises(SpecificationError):
+            DataAnnotation("x", access_pattern="spiral")
+
+    def test_invalid_layout(self):
+        with pytest.raises(SpecificationError):
+            DataAnnotation("x", record_layout="interleaved")
+
+    def test_negative_volume(self):
+        with pytest.raises(SpecificationError):
+            DataAnnotation("x", volume_bytes=-1)
+
+
+class TestRequirement:
+    def test_latency_is_upper_bound(self):
+        req = Requirement(RequirementKind.LATENCY, 1.0)
+        assert req.satisfied_by(0.5)
+        assert not req.satisfied_by(2.0)
+
+    def test_throughput_is_lower_bound(self):
+        req = Requirement(RequirementKind.THROUGHPUT, 100.0)
+        assert req.satisfied_by(200.0)
+        assert not req.satisfied_by(50.0)
+
+    def test_positive_value_required(self):
+        with pytest.raises(ValueError):
+            Requirement(RequirementKind.LATENCY, 0.0)
+
+
+class TestSecurityAnnotation:
+    def test_public_needs_nothing(self):
+        assert not SecurityAnnotation().needs_protection
+
+    def test_confidential_needs_dift(self):
+        annotation = SecurityAnnotation(
+            sensitivity=Sensitivity.CONFIDENTIAL
+        )
+        assert annotation.needs_protection
+        assert annotation.needs_dift
+
+    def test_internal_no_dift(self):
+        annotation = SecurityAnnotation(sensitivity=Sensitivity.INTERNAL)
+        assert annotation.needs_protection
+        assert not annotation.needs_dift
+
+    def test_annotation_set_sensitive_names(self):
+        bundle = AnnotationSet()
+        bundle.add_security("a", SecurityAnnotation(
+            sensitivity=Sensitivity.SECRET))
+        bundle.add_security("b", SecurityAnnotation())
+        assert bundle.sensitive_names() == ["a"]
+
+
+class TestPipelineBuilder:
+    def test_minimal_pipeline(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source("in", TensorType((8,), F32))
+        task = pipeline.task("double", KERNEL, inputs=[source])
+        pipeline.sink("out", task.output(0))
+        module = pipeline.to_ir()
+        assert module.find_function("double") is not None
+        ops = [op.name for op in module.walk()]
+        assert "workflow.pipeline" in ops
+        assert "workflow.source" in ops
+        assert "workflow.sink" in ops
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(SpecificationError, match="no tasks"):
+            Pipeline("p").to_ir()
+
+    def test_duplicate_source_rejected(self):
+        pipeline = Pipeline("p")
+        pipeline.source("in", TensorType((8,), F32))
+        with pytest.raises(SpecificationError, match="duplicate"):
+            pipeline.source("in", TensorType((8,), F32))
+
+    def test_unknown_kernel_rejected(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source("in", TensorType((8,), F32))
+        pipeline.task("t", KERNEL, inputs=[source], kernel="ghost")
+        with pytest.raises(SpecificationError, match="unknown kernel"):
+            pipeline.to_ir()
+
+    def test_arity_mismatch_rejected(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source("in", TensorType((8,), F32))
+        pipeline.task("double", KERNEL, inputs=[source, source])
+        with pytest.raises(SpecificationError, match="takes 1"):
+            pipeline.to_ir()
+
+    def test_type_mismatch_rejected(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source("in", TensorType((16,), F32))
+        pipeline.task("double", KERNEL, inputs=[source])
+        with pytest.raises(SpecificationError, match="does not match"):
+            pipeline.to_ir()
+
+    def test_chained_tasks(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source("in", TensorType((8,), F32))
+        first = pipeline.task("double", KERNEL, inputs=[source])
+        second = pipeline.task(
+            "again", KERNEL, inputs=[first.output(0)], kernel="double"
+        )
+        pipeline.sink("out", second.output(0))
+        module = pipeline.to_ir()
+        tasks = [
+            op for op in module.walk() if op.name == "workflow.task"
+        ]
+        assert len(tasks) == 2
+        assert pipeline.dependency_edges() == [("double", "again")]
+
+    def test_annotations_propagate_to_ir(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source(
+            "in", TensorType((8,), F32),
+            annotation=DataAnnotation(
+                "in", volume_bytes=1024, locality=Locality.EDGE
+            ),
+            security=SecurityAnnotation(sensitivity=Sensitivity.SECRET),
+        )
+        task = pipeline.task("double", KERNEL, inputs=[source])
+        pipeline.sink("out", task.output(0))
+        module = pipeline.to_ir()
+        source_op = next(
+            op for op in module.walk() if op.name == "workflow.source"
+        )
+        assert source_op.attr("locality") == "edge"
+        assert source_op.attr("sensitivity") == "secret"
+
+    def test_requirements_recorded(self):
+        pipeline = Pipeline("p")
+        pipeline.require(Requirement(RequirementKind.DEADLINE, 5.0))
+        source = pipeline.source("in", TensorType((8,), F32))
+        pipeline.task(
+            "double", KERNEL, inputs=[source],
+            requirements=[Requirement(RequirementKind.LATENCY, 0.1)],
+        )
+        module = pipeline.to_ir()
+        pipeline_op = next(
+            op for op in module.walk() if op.name == "workflow.pipeline"
+        )
+        assert pipeline_op.attr("requirements") == [("deadline", 5.0, "")]
+        task_op = next(
+            op for op in module.walk() if op.name == "workflow.task"
+        )
+        assert task_op.attr("requirements") == [("latency", 0.1, "")]
+
+    def test_out_of_order_task_rejected(self):
+        pipeline = Pipeline("p")
+        source = pipeline.source("in", TensorType((8,), F32))
+        later = pipeline.task("b", KERNEL, inputs=[source],
+                              kernel="double")
+        # 'a' consumes b's output but tasks list order is a-then-b? No:
+        # build a task consuming an output of a task added *after* it.
+        pipeline.tasks.reverse()
+        pipeline.tasks.insert(0, pipeline.task(
+            "a", KERNEL, inputs=[later.output(0)], kernel="double"
+        ))
+        pipeline.tasks = [t for i, t in enumerate(pipeline.tasks)
+                          if t.name != "a" or i == 0]
+        with pytest.raises(SpecificationError, match="dataflow order"):
+            pipeline.to_ir()

@@ -1,0 +1,163 @@
+"""Tests for the kernel DSL lexer and parser."""
+
+import pytest
+
+from repro.core.dsl import ast_nodes as ast
+from repro.core.dsl.lexer import tokenize
+from repro.core.dsl.parser import parse, parse_tensor_type
+from repro.core.ir.types import ScalarType, TensorType
+from repro.errors import ParseError
+
+
+class TestLexer:
+    def test_tensor_type_single_token(self):
+        tokens = tokenize("tensor<4x4xf32>")
+        assert tokens[0].kind == "TENSORTYPE"
+        assert tokens[0].text == "tensor<4x4xf32>"
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("kernel foo return bar")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["KEYWORD", "ID", "KEYWORD", "ID"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["1", "2.5", "1e3", "2.5e-2"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a # comment to end\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_arrow_symbol(self):
+        tokens = tokenize("->")
+        assert tokens[0].text == "->"
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_unterminated_tensor_type(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("tensor<4x4xf32")
+
+
+class TestTensorTypeParsing:
+    def test_basic(self):
+        t = parse_tensor_type("tensor<4x8xf32>")
+        assert t == TensorType((4, 8), ScalarType("f32"))
+
+    def test_one_dim(self):
+        assert parse_tensor_type("tensor<16xf64>").shape == (16,)
+
+    def test_malformed(self):
+        for bad in ("tensor<f32>", "tensor<4x>", "tensor<4x4xf16>"):
+            with pytest.raises(ParseError):
+                parse_tensor_type(bad)
+
+
+VALID = """
+kernel f(A: tensor<4x4xf32>, s: f32 @sensitive) -> tensor<4x4xf32> {
+  B = A * s
+  C = relu(B)
+  return C
+}
+"""
+
+
+class TestParser:
+    def test_valid_program(self):
+        program = parse(VALID)
+        assert len(program.kernels) == 1
+        kernel = program.kernels[0]
+        assert kernel.name == "f"
+        assert len(kernel.params) == 2
+        assert kernel.params[1].sensitive
+        assert isinstance(kernel.body[-1], ast.Return)
+
+    def test_precedence_mul_over_add(self):
+        program = parse("""
+        kernel f(A: tensor<4xf32>) -> tensor<4xf32> {
+          B = A + A * A
+          return B
+        }
+        """)
+        assignment = program.kernels[0].body[0]
+        assert assignment.value.op == "+"
+        assert assignment.value.rhs.op == "*"
+
+    def test_matmul_precedence_over_mul(self):
+        program = parse("""
+        kernel f(A: tensor<4x4xf32>) -> tensor<4x4xf32> {
+          B = A @ A * A
+          return B
+        }
+        """)
+        # '@' binds tighter: (A @ A) * A
+        assignment = program.kernels[0].body[0]
+        assert assignment.value.op == "*"
+        assert assignment.value.lhs.op == "@"
+
+    def test_parentheses_override(self):
+        program = parse("""
+        kernel f(A: tensor<4xf32>) -> tensor<4xf32> {
+          B = (A + A) * A
+          return B
+        }
+        """)
+        assignment = program.kernels[0].body[0]
+        assert assignment.value.op == "*"
+
+    def test_call_with_kwarg_list(self):
+        program = parse("""
+        kernel f(A: tensor<4x4xf32>) -> tensor<4xf32> {
+          B = sum(A, axes=[0])
+          return B
+        }
+        """)
+        call = program.kernels[0].body[0].value
+        assert call.callee == "sum"
+        assert call.int_lists["axes"] == [0]
+
+    def test_unary_minus(self):
+        program = parse("""
+        kernel f(A: tensor<4xf32>) -> tensor<4xf32> {
+          B = -A
+          return B
+        }
+        """)
+        assert isinstance(program.kernels[0].body[0].value, ast.UnaryOp)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(ParseError, match="no return"):
+            parse("""
+            kernel f(A: tensor<4xf32>) -> tensor<4xf32> {
+              B = A
+            }
+            """)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_error_reports_position(self):
+        try:
+            parse("kernel f( -> f32 { return 1.0 }")
+        except ParseError as exc:
+            assert exc.line >= 1
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_multiple_results(self):
+        program = parse("""
+        kernel f(A: tensor<4xf32>) -> tensor<4xf32>, f32 {
+          s = 1.0
+          return A, s
+        }
+        """)
+        assert len(program.kernels[0].result_types) == 2

@@ -1,0 +1,89 @@
+"""Tests for matmul loop-order selection (ijk vs ikj)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.core.hls.cdfg import build_cdfg, loop_carried_chain
+from repro.core.hls.scheduling import nest_cycles, schedule_loop
+from repro.core.ir.interp import Interpreter
+from repro.core.ir.passes import (
+    LoopDirectivesPass,
+    LowerTensorPass,
+    MatmulLoopOrderPass,
+    PassManager,
+)
+from repro.errors import PassError
+
+GEMM = """
+kernel gemm(A: tensor<12x8xf32>, B: tensor<8x10xf32>)
+        -> tensor<12x10xf32> {
+  C = A @ B
+  return C
+}
+"""
+
+
+def lowered(order):
+    module = compile_kernel(GEMM)
+    manager = PassManager()
+    manager.add(MatmulLoopOrderPass(order))
+    manager.add(LowerTensorPass())
+    manager.add(LoopDirectivesPass())
+    manager.run(module)
+    return module
+
+
+class TestMatmulLoopOrder:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(PassError):
+            MatmulLoopOrderPass("jki")
+
+    @pytest.mark.parametrize("order", ["ijk", "ikj"])
+    def test_numerics_match_numpy(self, order, rng):
+        module = lowered(order)
+        a = rng.normal(size=(12, 8)).astype(np.float32)
+        b = rng.normal(size=(8, 10)).astype(np.float32)
+        out = np.zeros((12, 10), np.float32)
+        Interpreter(module).run("gemm", a, b, out)
+        assert np.allclose(out, a @ b, atol=1e-4)
+
+    def test_ijk_has_recurrence(self):
+        module = lowered("ijk")
+        cdfg = build_cdfg(module.find_function("gemm"))
+        assert any(
+            loop_carried_chain(loop)
+            for loop in cdfg.innermost_loops()
+        )
+
+    def test_ikj_has_no_recurrence(self):
+        module = lowered("ikj")
+        cdfg = build_cdfg(module.find_function("gemm"))
+        assert not any(
+            loop_carried_chain(loop)
+            for loop in cdfg.innermost_loops()
+        )
+
+    def test_ikj_pipelines_at_ii_one(self):
+        module = lowered("ikj")
+        cdfg = build_cdfg(module.find_function("gemm"))
+        for loop in cdfg.innermost_loops():
+            assert schedule_loop(loop).ii == 1
+
+    def test_ikj_fewer_total_cycles(self):
+        def total(order):
+            module = lowered(order)
+            cdfg = build_cdfg(module.find_function("gemm"))
+            schedules = {
+                id(loop): schedule_loop(loop)
+                for loop in cdfg.innermost_loops()
+            }
+            return nest_cycles(cdfg.root, schedules)
+
+        assert total("ikj") < 0.5 * total("ijk")
+
+    def test_idempotent(self):
+        module = compile_kernel(GEMM)
+        first = MatmulLoopOrderPass("ikj").run(module)
+        second = MatmulLoopOrderPass("ikj").run(module)
+        assert first and not second

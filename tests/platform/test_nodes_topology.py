@@ -1,0 +1,161 @@
+"""Tests for node builders, ecosystem topology, and energy metering."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.node import (
+    build_cloudfpga_node,
+    build_edge_node,
+    build_gpu_node,
+    build_power9_node,
+)
+from repro.platform.power import EnergyMeter
+from repro.platform.topology import (
+    Ecosystem,
+    Tier,
+    build_reference_ecosystem,
+)
+from repro.platform.interconnect import EthernetLink
+from repro.platform.node import Node
+
+
+class TestNodeBuilders:
+    def test_power9_has_coherent_fpga(self):
+        node = build_power9_node()
+        assert node.has_fpga and node.has_coherent_fpga
+        assert node.arch == "ppc64le"
+
+    def test_power9_multi_fpga(self):
+        node = build_power9_node(num_fpgas=3)
+        assert len(node.fpgas) == 3
+
+    def test_cloudfpga_has_no_cpu(self):
+        node = build_cloudfpga_node()
+        assert node.cpu is None
+        assert node.network_link is not None
+        assert node.has_fpga
+
+    def test_edge_node_arch_variants(self):
+        arm = build_edge_node("e0", arch="arm")
+        riscv = build_edge_node("e1", arch="riscv")
+        assert arm.cpu.name == "ARM"
+        assert riscv.cpu.name == "RISCV"
+
+    def test_edge_invalid_arch(self):
+        with pytest.raises(PlatformError):
+            build_edge_node(arch="mips")
+
+    def test_edge_without_fpga(self):
+        node = build_edge_node(with_fpga=False)
+        assert not node.has_fpga
+
+    def test_gpu_node(self):
+        node = build_gpu_node()
+        assert node.gpu is not None
+        assert not node.has_fpga
+
+    def test_idle_watts_positive(self):
+        for node in (build_power9_node(), build_edge_node(),
+                     build_gpu_node()):
+            assert node.idle_watts() > 0
+
+    def test_duplicate_memory_rejected(self):
+        node = build_power9_node()
+        memory = next(iter(node.memories.values()))
+        with pytest.raises(PlatformError):
+            node.add_memory(memory)
+
+    def test_describe_mentions_fpgas(self):
+        assert "fpgas=1" in build_power9_node().describe()
+
+
+class TestEcosystem:
+    def test_reference_ecosystem_tiers(self):
+        eco = build_reference_ecosystem()
+        assert len(eco.nodes_in_tier(Tier.ENDPOINT)) == 8
+        assert len(eco.nodes_in_tier(Tier.INNER_EDGE)) == 2
+        assert len(eco.nodes_in_tier(Tier.CLOUD)) >= 6
+
+    def test_duplicate_node_rejected(self):
+        eco = Ecosystem()
+        eco.add_node(Node(name="n"), Tier.CLOUD)
+        with pytest.raises(PlatformError):
+            eco.add_node(Node(name="n"), Tier.CLOUD)
+
+    def test_connect_unknown_node_rejected(self):
+        eco = Ecosystem()
+        eco.add_node(Node(name="a"), Tier.CLOUD)
+        with pytest.raises(PlatformError):
+            eco.connect("a", "ghost", EthernetLink())
+
+    def test_path_and_transfer(self):
+        eco = build_reference_ecosystem()
+        path = eco.path("endpoint-0", "power9-0")
+        assert path[0] == "endpoint-0"
+        assert path[-1] == "power9-0"
+        assert len(path) >= 3  # via edge gateway and switch
+        assert eco.transfer_time("endpoint-0", "power9-0", 1000) > 0
+
+    def test_transfer_to_self_is_free(self):
+        eco = build_reference_ecosystem()
+        assert eco.transfer_time("power9-0", "power9-0", 10**6) == 0.0
+
+    def test_no_path_raises(self):
+        eco = Ecosystem()
+        eco.add_node(Node(name="a"), Tier.CLOUD)
+        eco.add_node(Node(name="b"), Tier.CLOUD)
+        with pytest.raises(PlatformError):
+            eco.path("a", "b")
+
+    def test_edge_closer_than_cloud(self):
+        eco = build_reference_ecosystem()
+        to_edge = eco.transfer_time("endpoint-0", "edge-0", 10**4)
+        to_cloud = eco.transfer_time("endpoint-0", "power9-0", 10**4)
+        assert to_edge < to_cloud
+
+    def test_bottleneck_bandwidth(self):
+        eco = build_reference_ecosystem()
+        # endpoint link is the bottleneck toward the cloud
+        sensor_bw = eco.bottleneck_bandwidth("endpoint-0", "power9-0")
+        dc_bw = eco.bottleneck_bandwidth("power9-0", "gpu-0")
+        assert sensor_bw < dc_bw
+
+    def test_record_transfer_accounts_all_hops(self):
+        eco = build_reference_ecosystem()
+        eco.record_transfer("endpoint-0", "power9-0", 500)
+        hops = eco.path("endpoint-0", "power9-0")
+        for a, b in zip(hops, hops[1:]):
+            assert eco.link_between(a, b).bytes_transferred == 500
+
+    def test_transfer_energy_positive(self):
+        eco = build_reference_ecosystem()
+        assert eco.transfer_energy("endpoint-0", "edge-0", 1000) > 0
+
+
+class TestEnergyMeter:
+    def test_accumulates_by_device_and_category(self):
+        meter = EnergyMeter()
+        meter.add("fpga0", 2.0, category="compute")
+        meter.add("fpga0", 1.0, category="transfer")
+        meter.add("cpu0", 3.0)
+        assert meter.device_total("fpga0") == pytest.approx(3.0)
+        assert meter.category_total("compute") == pytest.approx(5.0)
+        assert meter.total_joules == pytest.approx(6.0)
+
+    def test_add_power_integrates(self):
+        meter = EnergyMeter()
+        meter.add_power("n", watts=10.0, seconds=2.0)
+        assert meter.device_total("n") == pytest.approx(20.0)
+
+    def test_negative_rejected(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.add("n", -1.0)
+
+    def test_merge(self):
+        a, b = EnergyMeter(), EnergyMeter()
+        a.add("x", 1.0)
+        b.add("x", 2.0, category="transfer")
+        a.merge(b)
+        assert a.device_total("x") == pytest.approx(3.0)
+        assert a.breakdown()["transfer"] == pytest.approx(2.0)

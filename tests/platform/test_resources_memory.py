@@ -1,0 +1,152 @@
+"""Tests for resource bundles and memory models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError
+from repro.platform.memory import MemoryModel, MemoryTechnology
+from repro.platform.resources import (
+    CPUDescription,
+    FPGAResources,
+    GPUDescription,
+)
+from repro.utils.units import GB
+
+small = st.integers(min_value=0, max_value=10**6)
+
+
+class TestFPGAResources:
+    def test_add(self):
+        total = FPGAResources(luts=10, dsps=1) + FPGAResources(luts=5)
+        assert total.luts == 15 and total.dsps == 1
+
+    def test_scaled(self):
+        assert FPGAResources(luts=10).scaled(3).luts == 30
+
+    def test_fits_in(self):
+        small_fp = FPGAResources(luts=10, ffs=10)
+        big = FPGAResources(luts=100, ffs=100, bram_kb=10, dsps=10)
+        assert small_fp.fits_in(big)
+        assert not big.fits_in(small_fp)
+
+    def test_utilization(self):
+        footprint = FPGAResources(luts=50, ffs=10)
+        capacity = FPGAResources(luts=100, ffs=100, bram_kb=10, dsps=10)
+        assert footprint.utilization_of(capacity) == pytest.approx(0.5)
+
+    def test_utilization_missing_resource_raises(self):
+        footprint = FPGAResources(dsps=1)
+        capacity = FPGAResources(luts=100)
+        with pytest.raises(CapacityError):
+            footprint.utilization_of(capacity)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FPGAResources(luts=-1)
+
+    def test_is_empty(self):
+        assert FPGAResources().is_empty()
+        assert not FPGAResources(luts=1).is_empty()
+
+    @given(small, small, small, small)
+    def test_property_add_then_sub_roundtrip(self, a, b, c, d):
+        x = FPGAResources(luts=a, ffs=b, bram_kb=c, dsps=d)
+        y = FPGAResources(luts=a, ffs=b, bram_kb=c, dsps=d)
+        assert (x + y) - y == x
+
+    @given(small, small)
+    def test_property_fits_is_reflexive(self, a, b):
+        x = FPGAResources(luts=a, ffs=b)
+        assert x.fits_in(x)
+
+
+class TestCPUDescription:
+    def test_peak_flops(self):
+        cpu = CPUDescription("c", cores=4, frequency_hz=1e9,
+                             flops_per_cycle=2.0)
+        assert cpu.peak_flops == 8e9
+
+    def test_time_for_flops_scales(self):
+        cpu = CPUDescription("c", cores=1, frequency_hz=1e9)
+        assert cpu.time_for_flops(2e9) == pytest.approx(
+            2 * cpu.time_for_flops(1e9)
+        )
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            CPUDescription("c", cores=0, frequency_hz=1e9)
+
+
+class TestGPUDescription:
+    def test_launch_latency_floor(self):
+        gpu = GPUDescription("g", peak_flops=1e12,
+                             memory_bandwidth=500e9)
+        assert gpu.time_for_flops(0) == pytest.approx(
+            gpu.kernel_launch_latency
+        )
+
+
+class TestMemoryModel:
+    def make(self, **kwargs) -> MemoryModel:
+        defaults = dict(
+            name="m", technology=MemoryTechnology.DDR4,
+            capacity_bytes=GB,
+        )
+        defaults.update(kwargs)
+        return MemoryModel(**defaults)
+
+    def test_defaults_filled_from_technology(self):
+        memory = self.make()
+        assert memory.latency_s > 0
+        assert memory.bandwidth_per_channel > 0
+
+    def test_allocate_and_free(self):
+        memory = self.make()
+        memory.allocate(1000)
+        assert memory.free_bytes == GB - 1000
+        memory.free(1000)
+        assert memory.free_bytes == GB
+
+    def test_over_allocation_rejected(self):
+        memory = self.make()
+        with pytest.raises(CapacityError):
+            memory.allocate(GB + 1)
+
+    def test_over_free_rejected(self):
+        memory = self.make()
+        memory.allocate(10)
+        with pytest.raises(CapacityError):
+            memory.free(20)
+
+    def test_access_time_includes_latency(self):
+        memory = self.make()
+        assert memory.access_time(0) == pytest.approx(memory.latency_s)
+
+    def test_access_time_bandwidth_bound(self):
+        memory = self.make(channels=2)
+        small_t = memory.access_time(10**6)
+        big_t = memory.access_time(10**8)
+        assert big_t > small_t
+
+    def test_parallel_streams_share_bandwidth(self):
+        memory = self.make(channels=1)
+        alone = memory.access_time(10**8, parallel_streams=1)
+        shared = memory.access_time(10**8, parallel_streams=4)
+        assert shared > alone
+
+    def test_streams_up_to_channels_are_free(self):
+        memory = self.make(channels=4)
+        assert memory.access_time(10**8, 4) == pytest.approx(
+            memory.access_time(10**8, 1)
+        )
+
+    def test_access_energy(self):
+        memory = self.make()
+        assert memory.access_energy(10**6) > 0
+        assert memory.access_energy(0) == 0
+
+    def test_bram_faster_than_remote(self):
+        bram = self.make(technology=MemoryTechnology.BRAM)
+        remote = self.make(technology=MemoryTechnology.REMOTE)
+        assert bram.access_time(1024) < remote.access_time(1024)

@@ -1,0 +1,193 @@
+"""Tests for the runtime executor and tier placement."""
+
+import pytest
+
+from repro.core.compiler import EverestCompiler
+from repro.core.dse.space import DesignSpace
+from repro.core.dsl.workflow import Pipeline
+from repro.core.ir import F32, TensorType
+from repro.errors import RuntimeSystemError
+from repro.platform.topology import build_reference_ecosystem
+from repro.runtime.autotuner.data_features import DataFeatures
+from repro.runtime.autotuner.manager import SystemState
+from repro.runtime.executor import RuntimeExecutor, default_reality
+from repro.runtime.scheduler import TierPlacer
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+from repro.workflow.plan import build_task_graph
+
+KERNEL = """
+kernel scale(A: tensor<64xf32>, B: tensor<64xf32>) -> tensor<64xf32> {
+  C = exp(A) * B
+  return C
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def app():
+    pipeline = Pipeline("demo")
+    a = pipeline.source("a", TensorType((64,), F32))
+    b = pipeline.source("b", TensorType((64,), F32))
+    task = pipeline.task("scale", KERNEL, inputs=[a, b])
+    pipeline.sink("out", task.output(0))
+    return EverestCompiler(space=DesignSpace.small()).compile(pipeline)
+
+
+class TestBuildTaskGraph:
+    def test_graph_structure(self, app):
+        graph = build_task_graph(app)
+        assert set(graph.tasks) == {"scale"}
+        assert {obj.name for obj in graph.external_inputs()} == \
+            {"a", "b"}
+
+    def test_durations_from_variants(self, app):
+        graph = build_task_graph(app)
+        best = app.exploration["scale"].best_latency()
+        assert graph.tasks["scale"].duration_s == pytest.approx(
+            best.cost.latency_s
+        )
+
+    def test_object_sizes_from_types(self, app):
+        graph = build_task_graph(app)
+        assert graph.objects["a"].size_bytes == 64 * 4
+
+
+class TestRuntimeExecutor:
+    def test_rounds_complete(self, app):
+        executor = RuntimeExecutor(app)
+        report = executor.run(5)
+        assert len(report.rounds) == 5
+        assert report.total_latency_s > 0
+        assert report.total_energy_j > 0
+
+    def test_zero_rounds_rejected(self, app):
+        with pytest.raises(RuntimeSystemError):
+            RuntimeExecutor(app).run(0)
+
+    def test_adaptation_switches_under_contention(self, app):
+        executor = RuntimeExecutor(app)
+
+        def schedule(index):
+            if index < 8:
+                return SystemState(), DataFeatures()
+            return SystemState(fpga_available=False), DataFeatures()
+
+        report = executor.run(16, schedule)
+        timeline = report.selections_timeline("scale")
+        assert "fpga" in timeline[0]
+        assert "cpu" in timeline[-1]
+        assert report.switches >= 1
+
+    def test_static_executor_never_switches(self, app):
+        executor = RuntimeExecutor(app, adaptive=False)
+
+        def schedule(index):
+            return (
+                SystemState(fpga_contention=float(index % 2)),
+                DataFeatures(),
+            )
+
+        report = executor.run(10, schedule)
+        timeline = report.selections_timeline("scale")
+        assert len(set(timeline)) == 1
+
+    def test_reconfiguration_counted_once_for_stable_choice(self, app):
+        executor = RuntimeExecutor(app)
+        report = executor.run(6)
+        # stable selection: at most one reconfiguration per role used
+        assert report.reconfigurations <= 2
+
+    def test_adaptive_beats_static_under_drift(self, app):
+        """Feedback loop: reality degrades the FPGA far more than the
+        decision maker's prior model expects; the adaptive executor
+        learns from measurements and switches, the static one cannot.
+        """
+
+        def harsh_reality(point, state, features):
+            latency = point.predicted_latency_s
+            energy = point.predicted_energy_j
+            if point.variant.is_hardware and \
+                    state.fpga_contention > 0.5:
+                latency *= 200.0
+            return latency, energy
+
+        def schedule(index):
+            if index < 5:
+                return SystemState(), DataFeatures()
+            return SystemState(fpga_contention=1.0), DataFeatures()
+
+        adaptive = RuntimeExecutor(
+            app, reality=harsh_reality
+        ).run(40, schedule)
+        static = RuntimeExecutor(
+            app, adaptive=False, reality=harsh_reality
+        ).run(40, schedule)
+        assert adaptive.total_latency_s < static.total_latency_s
+        timeline = adaptive.selections_timeline("scale")
+        assert "fpga" in timeline[0]
+        assert "cpu" in timeline[-1]
+
+    def test_energy_meter_populated(self, app):
+        report = RuntimeExecutor(app).run(3)
+        assert report.energy.total_joules == pytest.approx(
+            report.total_energy_j
+        )
+
+
+class TestTierPlacer:
+    def make_graph(self, size_bytes=10**6, duration=0.01):
+        graph = TaskGraph("g")
+        graph.add_object(DataObject(
+            "sensor", size_bytes=size_bytes, locality="edge-0"
+        ))
+        graph.add_task(WorkflowTask(
+            "filter", inputs=["sensor"], outputs=["filtered"],
+            duration_s=duration,
+        ))
+        graph.tasks["filter"].outputs and graph.set_object_size(
+            "filtered", size_bytes // 10
+        )
+        graph.add_task(WorkflowTask(
+            "analyze", inputs=["filtered"], outputs=["result"],
+            duration_s=duration * 10,
+        ))
+        return graph
+
+    def test_assignments_cover_all_tasks(self):
+        eco = build_reference_ecosystem()
+        placement = TierPlacer(eco).place(self.make_graph())
+        assert set(placement.assignments) == {"filter", "analyze"}
+
+    def test_big_data_filter_stays_at_edge(self):
+        eco = build_reference_ecosystem(uplink_mbps=10.0)
+        placement = TierPlacer(eco).place(
+            self.make_graph(size_bytes=50 * 10**6, duration=0.05)
+        )
+        assert placement.assignments["filter"].startswith("edge")
+
+    def test_compute_heavy_small_data_goes_to_cloud(self):
+        eco = build_reference_ecosystem()
+        graph = TaskGraph("g")
+        graph.add_object(DataObject("tiny", size_bytes=100,
+                                    locality="edge-0"))
+        graph.add_task(WorkflowTask(
+            "train", inputs=["tiny"], outputs=["model"],
+            duration_s=30.0,
+        ))
+        placement = TierPlacer(eco).place(graph)
+        node = eco.nodes[placement.assignments["train"]]
+        assert node.arch in ("ppc64le", "x86")
+
+    def test_edge_placement_beats_cloud_for_streaming(self):
+        eco = build_reference_ecosystem(uplink_mbps=10.0)
+        graph = self.make_graph(size_bytes=20 * 10**6, duration=0.02)
+        placer = TierPlacer(eco)
+        smart = placer.place(graph)
+        all_cloud = placer.place_fixed(graph, "power9-0")
+        assert smart.total_seconds < all_cloud.total_seconds
+        assert smart.bytes_moved <= all_cloud.bytes_moved
+
+    def test_unknown_fixed_node(self):
+        eco = build_reference_ecosystem()
+        with pytest.raises(RuntimeSystemError):
+            TierPlacer(eco).place_fixed(self.make_graph(), "ghost")

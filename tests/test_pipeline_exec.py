@@ -1,0 +1,93 @@
+"""Tests for functional pipeline execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.dsl.workflow import Pipeline
+from repro.core.ir import F32, TensorType
+from repro.core.pipeline_exec import execute_pipeline, pipeline_io
+from repro.errors import SpecificationError, WorkflowError
+
+KERNELS = """
+kernel double(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = X * 2.0
+  return Y
+}
+kernel combine(A: tensor<8xf32>, B: tensor<8xf32>)
+        -> tensor<8xf32>, tensor<1xf32> {
+  S = A + B
+  T = sum(S)
+  return S, T
+}
+"""
+
+
+@pytest.fixture
+def module():
+    pipeline = Pipeline("numeric")
+    a = pipeline.source("a", TensorType((8,), F32))
+    b = pipeline.source("b", TensorType((8,), F32))
+    doubled = pipeline.task("double", KERNELS, inputs=[a])
+    combined = pipeline.task(
+        "combine", KERNELS, inputs=[doubled.output(0), b]
+    )
+    pipeline.sink("vector", combined.output(0))
+    pipeline.sink("total", combined.output(1))
+    return pipeline.to_ir()
+
+
+class TestExecutePipeline:
+    def test_end_to_end_values(self, module, rng):
+        a = rng.normal(size=8).astype(np.float32)
+        b = rng.normal(size=8).astype(np.float32)
+        outputs = execute_pipeline(module, {"a": a, "b": b})
+        expected_vector = a * 2 + b
+        assert np.allclose(outputs["vector"], expected_vector,
+                           atol=1e-5)
+        assert np.allclose(outputs["total"],
+                           expected_vector.sum(), atol=1e-4)
+
+    def test_missing_feed_rejected(self, module):
+        with pytest.raises(SpecificationError, match="no feed"):
+            execute_pipeline(module, {"a": np.zeros(8)})
+
+    def test_unknown_feed_rejected(self, module):
+        feeds = {
+            "a": np.zeros(8), "b": np.zeros(8),
+            "ghost": np.zeros(8),
+        }
+        with pytest.raises(SpecificationError, match="unknown"):
+            execute_pipeline(module, feeds)
+
+    def test_shape_mismatch_rejected(self, module):
+        with pytest.raises(SpecificationError, match="shape"):
+            execute_pipeline(
+                module, {"a": np.zeros(4), "b": np.zeros(8)}
+            )
+
+    def test_no_pipeline_rejected(self):
+        from repro.core.ir import Module
+
+        with pytest.raises(WorkflowError):
+            execute_pipeline(Module("empty"), {})
+
+    def test_pipeline_io(self, module):
+        io = pipeline_io(module)
+        assert io["sources"] == ["a", "b"]
+        assert io["sinks"] == ["vector", "total"]
+
+    def test_matches_compiled_app_semantics(self, rng):
+        """The functional answer is independent of compilation."""
+        from repro.core.compiler import EverestCompiler
+        from repro.core.dse.space import DesignSpace
+
+        pipeline = Pipeline("check")
+        a = pipeline.source("a", TensorType((8,), F32))
+        task = pipeline.task("double", KERNELS, inputs=[a])
+        pipeline.sink("out", task.output(0))
+        app = EverestCompiler(
+            space=DesignSpace.small(), emit_artifacts=False
+        ).compile(pipeline)
+        x = rng.normal(size=8).astype(np.float32)
+        outputs = execute_pipeline(app.module, {"a": x})
+        assert np.allclose(outputs["out"], x * 2, atol=1e-6)

@@ -1,0 +1,126 @@
+"""Tests for task graphs and data objects."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkflowError
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+
+
+def diamond() -> TaskGraph:
+    graph = TaskGraph("diamond")
+    graph.add_object(DataObject("in", size_bytes=100))
+    graph.add_task(WorkflowTask("a", inputs=["in"], outputs=["x"],
+                                duration_s=1.0))
+    graph.add_task(WorkflowTask("b", inputs=["x"], outputs=["y"],
+                                duration_s=2.0))
+    graph.add_task(WorkflowTask("c", inputs=["x"], outputs=["z"],
+                                duration_s=3.0))
+    graph.add_task(WorkflowTask("d", inputs=["y", "z"],
+                                outputs=["out"], duration_s=1.0))
+    return graph
+
+
+class TestGraphConstruction:
+    def test_outputs_become_objects(self):
+        graph = diamond()
+        assert "x" in graph.objects
+        assert graph.objects["x"].producer == "a"
+
+    def test_duplicate_task_rejected(self):
+        graph = diamond()
+        with pytest.raises(WorkflowError):
+            graph.add_task(WorkflowTask("a"))
+
+    def test_duplicate_object_rejected(self):
+        graph = diamond()
+        with pytest.raises(WorkflowError):
+            graph.add_object(DataObject("in"))
+
+    def test_unknown_input_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(WorkflowError, match="unknown input"):
+            graph.add_task(WorkflowTask("t", inputs=["ghost"]))
+
+    def test_output_collision_rejected(self):
+        graph = diamond()
+        with pytest.raises(WorkflowError, match="already produced"):
+            graph.add_task(WorkflowTask("e", outputs=["x"]))
+
+    def test_set_object_size(self):
+        graph = diamond()
+        graph.set_object_size("x", 42)
+        assert graph.objects["x"].size_bytes == 42
+        with pytest.raises(WorkflowError):
+            graph.set_object_size("ghost", 1)
+
+
+class TestGraphQueries:
+    def test_dependencies(self):
+        graph = diamond()
+        assert graph.dependencies("d") == ["b", "c"]
+        assert graph.dependencies("a") == []
+
+    def test_consumers(self):
+        graph = diamond()
+        assert sorted(graph.consumers("a")) == ["b", "c"]
+        assert graph.consumers("d") == []
+
+    def test_roots(self):
+        assert diamond().roots() == ["a"]
+
+    def test_topological_order_valid(self):
+        graph = diamond()
+        order = graph.topological_order()
+        for task_name in graph.tasks:
+            for dependency in graph.dependencies(task_name):
+                assert order.index(dependency) < order.index(task_name)
+
+    def test_external_inputs(self):
+        graph = diamond()
+        assert [obj.name for obj in graph.external_inputs()] == ["in"]
+
+
+class TestGraphAnalysis:
+    def test_b_levels(self):
+        graph = diamond()
+        levels = graph.b_levels()
+        # d = 1; b = 2+1; c = 3+1; a = 1 + max(3,4)
+        assert levels["d"] == pytest.approx(1.0)
+        assert levels["b"] == pytest.approx(3.0)
+        assert levels["c"] == pytest.approx(4.0)
+        assert levels["a"] == pytest.approx(5.0)
+
+    def test_critical_path(self):
+        assert diamond().critical_path_length() == pytest.approx(5.0)
+
+    def test_total_work(self):
+        assert diamond().total_work() == pytest.approx(7.0)
+
+    def test_cycle_detected(self):
+        graph = TaskGraph()
+        graph.add_object(DataObject("seed"))
+        # manual cycle: t1 consumes t2's output and vice versa
+        graph.objects["loop1"] = DataObject("loop1", producer="t2")
+        graph.add_task(WorkflowTask("t1", inputs=["loop1"],
+                                    outputs=["mid"]))
+        graph.add_task(WorkflowTask("t2", inputs=["mid"]))
+        graph.objects["loop1"].producer = "t2"
+        graph.tasks["t2"].outputs.append("loop1")
+        with pytest.raises(WorkflowError, match="cycle"):
+            graph.validate()
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_property_chain_critical_path(self, length):
+        graph = TaskGraph()
+        graph.add_object(DataObject("in"))
+        previous = "in"
+        for index in range(length):
+            graph.add_task(WorkflowTask(
+                f"t{index}", inputs=[previous],
+                outputs=[f"o{index}"], duration_s=1.0,
+            ))
+            previous = f"o{index}"
+        assert graph.critical_path_length() == pytest.approx(length)
+        assert graph.total_work() == pytest.approx(length)

@@ -1,0 +1,201 @@
+"""Tests for crash recovery, lineage re-execution and migration."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+from repro.workflow.recovery import (
+    FailureInjection,
+    ResilientServer,
+    migrate_task,
+)
+from repro.workflow.server import WorkflowServer
+from repro.workflow.worker import Worker
+
+
+def chain_graph(length=4, duration=1.0) -> TaskGraph:
+    graph = TaskGraph("chain")
+    graph.add_object(DataObject("in", size_bytes=1000, locality="w0"))
+    previous = "in"
+    for index in range(length):
+        graph.add_task(WorkflowTask(
+            f"t{index}", inputs=[previous], outputs=[f"o{index}"],
+            duration_s=duration,
+        ))
+        previous = f"o{index}"
+    return graph
+
+
+def fan_graph(width=6) -> TaskGraph:
+    graph = TaskGraph("fan")
+    graph.add_object(DataObject("in", size_bytes=1000, locality="w0"))
+    for index in range(width):
+        graph.add_task(WorkflowTask(
+            f"leaf{index}", inputs=["in"], outputs=[f"l{index}"],
+            duration_s=1.0,
+        ))
+    graph.add_task(WorkflowTask(
+        "join", inputs=[f"l{index}" for index in range(width)],
+        outputs=["out"], duration_s=0.5,
+    ))
+    return graph
+
+
+def pool(count=3):
+    return [
+        Worker(f"w{index}", node_name=f"n{index}", cpus=2)
+        for index in range(count)
+    ]
+
+
+class TestNoFailures:
+    def test_matches_plain_server_semantics(self):
+        graph = fan_graph()
+        trace, stats = ResilientServer(pool()).run(graph)
+        assert len(trace.records) == 7
+        assert stats.failures == 0
+        assert stats.tasks_requeued == 0
+        plain = WorkflowServer(pool()).run(fan_graph())
+        # same work completes; makespans comparable
+        assert trace.makespan == pytest.approx(plain.makespan,
+                                               rel=0.5)
+
+    def test_all_tasks_complete(self):
+        graph = chain_graph()
+        trace, _stats = ResilientServer(pool()).run(graph)
+        assert {r.task for r in trace.records} == set(graph.tasks)
+
+
+class TestCrashRecovery:
+    def test_running_task_requeued(self):
+        graph = chain_graph(length=3, duration=2.0)
+        server = ResilientServer(pool(2))
+        trace, stats = server.run(
+            graph, failures=[FailureInjection("w0", at_time=1.0)]
+        )
+        assert stats.failures == 1
+        # the mid-flight task was re-run elsewhere
+        assert stats.tasks_requeued + stats.tasks_relineaged >= 1
+        executed_workers = {r.worker for r in trace.records}
+        assert "w0" not in executed_workers or all(
+            r.end <= 1.0 + 1e-9 for r in trace.records
+            if r.worker == "w0"
+        )
+        assert {r.task for r in trace.records} >= set(graph.tasks)
+
+    def test_lost_intermediate_recomputed_via_lineage(self):
+        # kill the worker after it produced o0/o1 but before the end
+        graph = chain_graph(length=4, duration=1.0)
+        server = ResilientServer(pool(2))
+        trace, stats = server.run(
+            graph, failures=[FailureInjection("w0", at_time=2.5)]
+        )
+        completed = {r.task for r in trace.records}
+        assert completed >= set(graph.tasks)
+        # some producer ran twice (lineage re-execution) or the input
+        # was re-fetched
+        assert stats.objects_lost >= 1
+        assert stats.tasks_relineaged + stats.inputs_refetched >= 1
+
+    def test_external_input_refetched(self):
+        # kill the input's home before any other worker finished
+        # staging a copy: the only copy dies and must be re-fetched
+        # from durable storage
+        graph = fan_graph()
+        server = ResilientServer(pool(3))
+        trace, stats = server.run(
+            graph, failures=[FailureInjection("w0", at_time=0.0005)]
+        )
+        assert {r.task for r in trace.records} >= set(graph.tasks)
+        assert stats.objects_lost >= 1
+        assert stats.inputs_refetched >= 1
+
+    def test_surviving_copy_avoids_refetch(self):
+        # by 0.5 s every worker staged a copy of the input: losing the
+        # home costs nothing
+        graph = fan_graph()
+        server = ResilientServer(pool(3))
+        trace, stats = server.run(
+            graph, failures=[FailureInjection("w0", at_time=0.5)]
+        )
+        assert {r.task for r in trace.records} >= set(graph.tasks)
+        assert stats.objects_lost == 0
+        assert stats.inputs_refetched == 0
+
+    def test_makespan_degrades_gracefully(self):
+        graph = fan_graph(width=8)
+        clean, _ = ResilientServer(pool(3)).run(fan_graph(width=8))
+        crashed, stats = ResilientServer(pool(3)).run(
+            graph, failures=[FailureInjection("w1", at_time=0.5)]
+        )
+        assert stats.failures == 1
+        assert crashed.makespan >= clean.makespan
+        # but not catastrophically: bounded by a serial re-run
+        assert crashed.makespan < graph.total_work() * 2
+
+    def test_all_workers_dead_raises(self):
+        graph = chain_graph(length=3, duration=5.0)
+        server = ResilientServer(pool(2))
+        with pytest.raises(WorkflowError, match="all workers failed"):
+            server.run(graph, failures=[
+                FailureInjection("w0", at_time=1.0),
+                FailureInjection("w1", at_time=1.5),
+            ])
+
+    def test_unknown_worker_failure_rejected(self):
+        server = ResilientServer(pool(2))
+        with pytest.raises(WorkflowError, match="unknown worker"):
+            server.run(
+                chain_graph(),
+                failures=[FailureInjection("ghost", at_time=0.1)],
+            )
+
+    def test_two_failures_survived(self):
+        graph = fan_graph(width=10)
+        server = ResilientServer(pool(4))
+        trace, stats = server.run(graph, failures=[
+            FailureInjection("w0", at_time=0.4),
+            FailureInjection("w3", at_time=1.2),
+        ])
+        assert stats.failures == 2
+        assert {r.task for r in trace.records} >= set(graph.tasks)
+
+
+class TestMigration:
+    def test_zero_cost_when_target_holds_inputs(self):
+        graph = chain_graph()
+        source = Worker("a", node_name="n1")
+        target = Worker("b", node_name="n2")
+        target.store.add("in")
+        assert migrate_task(graph, "t0", source, target) == 0.0
+
+    def test_cost_scales_with_input_size(self):
+        graph = TaskGraph("m")
+        graph.add_object(DataObject("small", size_bytes=1000))
+        graph.add_object(DataObject("big", size_bytes=10**8))
+        graph.add_task(WorkflowTask("ts", inputs=["small"],
+                                    outputs=["os"]))
+        graph.add_task(WorkflowTask("tb", inputs=["big"],
+                                    outputs=["ob"]))
+        source = Worker("a", node_name="n1")
+        target = Worker("b", node_name="n2")
+        assert migrate_task(graph, "tb", source, target) > \
+            migrate_task(graph, "ts", source, target)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(WorkflowError):
+            migrate_task(chain_graph(), "ghost",
+                         Worker("a", node_name="n1"),
+                         Worker("b", node_name="n2"))
+
+    def test_ecosystem_costs_used(self):
+        from repro.platform.topology import build_reference_ecosystem
+
+        eco = build_reference_ecosystem()
+        graph = TaskGraph("m")
+        graph.add_object(DataObject("d", size_bytes=10**7))
+        graph.add_task(WorkflowTask("t", inputs=["d"], outputs=["o"]))
+        edge = Worker("e", node_name="edge-0")
+        cloud = Worker("c", node_name="power9-0")
+        wan_cost = migrate_task(graph, "t", edge, cloud, eco)
+        assert wan_cost > 0.1  # 10 MB over the WAN uplink
