@@ -1,0 +1,161 @@
+"""The fault vocabulary of the chaos layer.
+
+Each fault class is a frozen dataclass with an ``at_time`` (simulated
+seconds) and a ``kind`` tag matching the
+:class:`~repro.workflow.tracing.FaultRecord` entries the resilient
+server writes when the fault is applied. Faults are plain data: the
+server interprets them, so schedules serialize and replay trivially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChaosError
+
+#: Wildcard target for link faults when no ecosystem topology is in
+#: play: the fault then applies to the default inter-worker staging
+#: path of the server.
+ANY_LINK = "*"
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Crash ``worker`` at ``at_time``; its store and slots are lost.
+
+    With ``restart_after`` set, the worker process is restarted that
+    many seconds later and re-admitted to the pool with an empty store.
+    ``restart_after=None`` is a permanent failure.
+    """
+
+    worker: str
+    at_time: float
+    restart_after: Optional[float] = None
+
+    kind = "worker-crash"
+
+    def __post_init__(self):
+        _check_time(self.kind, self.at_time)
+        if self.restart_after is not None and self.restart_after < 0:
+            raise ChaosError(
+                f"{self.kind}: restart_after must be >= 0, "
+                f"got {self.restart_after}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade or sever the link between two nodes for a while.
+
+    With ``partition=True`` the link is cut entirely (routing treats it
+    as absent); otherwise bandwidth is multiplied by
+    ``bandwidth_factor`` and ``latency_add_s`` is added per hop. The
+    link heals ``duration_s`` seconds after ``at_time``. Node names of
+    :data:`ANY_LINK` target the server's default staging path.
+    """
+
+    node_a: str
+    node_b: str
+    at_time: float
+    duration_s: float
+    bandwidth_factor: float = 1.0
+    latency_add_s: float = 0.0
+    partition: bool = False
+
+    @property
+    def kind(self) -> str:
+        return "link-partition" if self.partition else "link-degradation"
+
+    @property
+    def target(self) -> str:
+        return f"{self.node_a}<->{self.node_b}"
+
+    def __post_init__(self):
+        _check_time("link fault", self.at_time)
+        if self.duration_s <= 0:
+            raise ChaosError(
+                f"link fault: duration_s must be > 0, got {self.duration_s}"
+            )
+        if not self.partition and not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ChaosError(
+                f"link fault: bandwidth_factor must be in (0, 1], "
+                f"got {self.bandwidth_factor}"
+            )
+        if self.latency_add_s < 0:
+            raise ChaosError(
+                f"link fault: latency_add_s must be >= 0, "
+                f"got {self.latency_add_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ReconfigFault:
+    """A vFPGA partial-reconfiguration failure on ``worker``'s role.
+
+    The worker cannot accept or finish tasks while its role is being
+    re-flashed; unlike a crash its object store survives. Repair takes
+    ``repair_s`` seconds, after which the worker is re-admitted.
+    """
+
+    worker: str
+    at_time: float
+    repair_s: float = 0.5
+
+    kind = "reconfig-failure"
+
+    def __post_init__(self):
+        _check_time(self.kind, self.at_time)
+        if self.repair_s <= 0:
+            raise ChaosError(
+                f"{self.kind}: repair_s must be > 0, got {self.repair_s}"
+            )
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Slow ``worker`` down by ``slowdown``x for ``duration_s`` seconds."""
+
+    worker: str
+    at_time: float
+    duration_s: float
+    slowdown: float = 4.0
+
+    kind = "straggler"
+
+    def __post_init__(self):
+        _check_time(self.kind, self.at_time)
+        if self.duration_s <= 0:
+            raise ChaosError(
+                f"{self.kind}: duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.slowdown <= 1.0:
+            raise ChaosError(
+                f"{self.kind}: slowdown must be > 1.0, got {self.slowdown}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskFault:
+    """Make the first ``failures`` attempts of ``task`` fail transiently.
+
+    Models flaky kernels / corrupted transfers: the attempt aborts
+    mid-execution and the server retries with backoff. The fault has no
+    ``at_time``: it manifests whenever the task is attempted.
+    """
+
+    task: str
+    failures: int = 1
+
+    kind = "task-fault"
+
+    def __post_init__(self):
+        if self.failures <= 0:
+            raise ChaosError(
+                f"{self.kind}: failures must be > 0, got {self.failures}"
+            )
+
+
+def _check_time(kind: str, at_time: float) -> None:
+    if at_time < 0:
+        raise ChaosError(f"{kind}: at_time must be >= 0, got {at_time}")

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro synth    KERNELS.edsl --kernel NAME [--unroll N]
     python -m repro explore  KERNELS.edsl --kernel NAME
     python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
+    python -m repro chaos    --graph-seed N --fault-seed M [--verify-replay]
     python -m repro info
 
 ``KERNELS.edsl`` is a file of kernel-DSL source (see
@@ -150,6 +151,69 @@ def cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_run(args: argparse.Namespace):
+    """One deterministic chaos run for the given seed pair."""
+    from repro.chaos import (
+        ChaosConfig,
+        generate_schedule,
+        random_task_graph,
+    )
+    from repro.workflow import ResilientServer, Worker
+    from repro.workflow.scheduler import make_policy
+
+    graph = random_task_graph(args.graph_seed, num_tasks=args.tasks)
+    workers = [
+        Worker(f"w{index}", node_name=f"n{index}", cpus=2)
+        for index in range(args.workers)
+    ]
+    config = ChaosConfig(
+        crashes=args.crashes,
+        link_faults=args.link_faults,
+        reconfig_faults=args.reconfig_faults,
+        stragglers=args.stragglers,
+        task_faults=args.task_faults,
+    )
+    schedule = generate_schedule(
+        graph, [worker.name for worker in workers],
+        args.fault_seed, config,
+    )
+    server = ResilientServer(workers, policy=make_policy(args.policy))
+    trace, stats = server.run(graph, chaos=schedule)
+    return graph, schedule, trace, stats
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay a seeded chaos scenario and report the outcome."""
+    graph, schedule, trace, stats = _chaos_run(args)
+    if args.json:
+        print(trace.to_json())
+        return 0
+    table = Table(
+        f"chaos run graph-seed={args.graph_seed} "
+        f"fault-seed={args.fault_seed} ({schedule.describe()})",
+        ["metric", "value"],
+    )
+    table.add_row("tasks completed",
+                  f"{len({r.task for r in trace.records})}/{len(graph)}")
+    table.add_row("makespan s", f"{trace.makespan:.4f}")
+    for kind, count in sorted(trace.faults_by_kind().items()):
+        table.add_row(f"fault: {kind}", count)
+    for action, count in sorted(trace.recoveries_by_action().items()):
+        table.add_row(f"recovery: {action}", count)
+    table.add_row("retries", stats.retries)
+    table.add_row("backoff seconds", f"{stats.backoff_seconds:.3f}")
+    table.add_row("trace digest", trace.digest())
+    table.show()
+    if args.verify_replay:
+        _graph2, _schedule2, replay, _stats2 = _chaos_run(args)
+        if replay.to_json() != trace.to_json():
+            print("REPLAY MISMATCH: the same seed pair produced a "
+                  "different trace")
+            return 1
+        print(f"replay verified: identical trace ({trace.digest()})")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.core.ir.dialects import registered_dialects
 
@@ -207,6 +271,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_emit.add_argument("--unroll", type=int, default=4)
     p_emit.set_defaults(func=cmd_emit)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault-injection scenario on the "
+             "resilient workflow server",
+    )
+    p_chaos.add_argument("--graph-seed", type=int, default=0)
+    p_chaos.add_argument("--fault-seed", type=int, default=0)
+    p_chaos.add_argument("--tasks", type=int, default=12)
+    p_chaos.add_argument("--workers", type=int, default=3)
+    p_chaos.add_argument("--policy", default="b-level")
+    p_chaos.add_argument("--crashes", type=int, default=1)
+    p_chaos.add_argument("--link-faults", type=int, default=1)
+    p_chaos.add_argument("--reconfig-faults", type=int, default=1)
+    p_chaos.add_argument("--stragglers", type=int, default=1)
+    p_chaos.add_argument("--task-faults", type=int, default=1)
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="print the serialized trace instead of the summary table",
+    )
+    p_chaos.add_argument(
+        "--verify-replay", action="store_true",
+        help="run the scenario twice and fail unless the traces are "
+             "byte-identical",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_info = sub.add_parser("info", help="SDK inventory")
     p_info.set_defaults(func=cmd_info)

@@ -70,6 +70,14 @@ class CapacityError(PlatformError):
     """A resource request exceeded the capacity of a device."""
 
 
+class ReconfigurationError(PlatformError):
+    """A (partial) FPGA reconfiguration failed and must be retried."""
+
+
+class ChaosError(EverestError):
+    """A fault-injection schedule is invalid or exhausted all retries."""
+
+
 class RuntimeSystemError(EverestError):
     """The EVEREST runtime (autotuner, virtualization, executor) failed."""
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import CapacityError, PlatformError
+from repro.errors import CapacityError, PlatformError, ReconfigurationError
 from repro.platform.memory import MemoryModel
 from repro.platform.resources import FPGAResources
 from repro.utils.validation import check_non_negative, check_positive
@@ -115,6 +115,8 @@ class FPGADevice:
             memory.name: memory for memory in (memories or [])
         }
         self.total_reconfig_time = 0.0
+        self.failed_reconfigurations = 0
+        self._pending_reconfig_faults = 0
 
     @property
     def user_capacity(self) -> FPGAResources:
@@ -145,12 +147,24 @@ class FPGADevice:
             size *= 3  # full-device image
         return size / _RECONFIG_BYTES_PER_SECOND
 
+    def inject_reconfig_failures(self, count: int) -> None:
+        """Arm the configuration port to fail the next ``count`` loads.
+
+        Models the transient partial-reconfiguration errors (bitstream
+        CRC, ICAP timeout) that a chaos schedule injects; each armed
+        failure makes one subsequent :meth:`load` raise
+        :class:`ReconfigurationError` and leaves the role unchanged.
+        """
+        check_non_negative("count", count)
+        self._pending_reconfig_faults += int(count)
+
     def load(self, bitstream: Bitstream, role: Optional[Role] = None) -> Role:
         """Load a bitstream into a role slot, evicting nothing.
 
         Returns the role used. Raises :class:`CapacityError` when the
-        image does not fit and :class:`PlatformError` when every slot
-        is occupied and none was named.
+        image does not fit, :class:`PlatformError` when every slot is
+        occupied and none was named, and :class:`ReconfigurationError`
+        when an injected configuration-port fault is armed.
         """
         target = role or self.free_role()
         if target is None:
@@ -167,6 +181,15 @@ class FPGADevice:
                 f"bitstream {bitstream.name!r} footprint "
                 f"{bitstream.footprint} does not fit role "
                 f"{target.name!r} capacity {target.capacity}"
+            )
+        if self._pending_reconfig_faults > 0:
+            self._pending_reconfig_faults -= 1
+            self.failed_reconfigurations += 1
+            # time was spent streaming the image before the fault hit
+            self.total_reconfig_time += self.reconfiguration_time(bitstream)
+            raise ReconfigurationError(
+                f"device {self.name!r}: partial reconfiguration of "
+                f"{bitstream.name!r} failed (injected fault); retry the load"
             )
         target.loaded = bitstream
         target.reconfigurations += 1

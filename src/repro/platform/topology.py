@@ -46,6 +46,11 @@ class Ecosystem:
         self.graph = nx.Graph()
         self.nodes: Dict[str, Node] = {}
         self.tiers: Dict[str, Tier] = {}
+        # Chaos overlay: transient link state keyed by the unordered
+        # node pair. Degradations scale bandwidth and add latency;
+        # partitioned links are excluded from routing entirely.
+        self._degradations: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._partitioned: set = set()
 
     def add_node(self, node: Node, tier: Tier) -> Node:
         """Register a node in a tier."""
@@ -77,10 +82,77 @@ class Ecosystem:
             raise PlatformError(f"no direct link between {a!r} and {b!r}")
         return self.graph.edges[a, b]["link"]
 
+    # -- chaos overlay: degradation and partition ----------------------
+
+    @staticmethod
+    def _pair(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def degrade_link(self, a: str, b: str, bandwidth_factor: float = 1.0,
+                     latency_add_s: float = 0.0) -> None:
+        """Degrade a link: scale its bandwidth, add latency per hop.
+
+        ``bandwidth_factor`` must be in (0, 1]; use
+        :meth:`partition_link` to sever a link completely.
+        """
+        self.link_between(a, b)  # validates the edge exists
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise PlatformError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        if latency_add_s < 0.0:
+            raise PlatformError(
+                f"latency_add_s must be >= 0, got {latency_add_s}"
+            )
+        self._degradations[self._pair(a, b)] = (
+            bandwidth_factor, latency_add_s
+        )
+
+    def partition_link(self, a: str, b: str) -> None:
+        """Sever a link: routing treats it as absent until healed."""
+        self.link_between(a, b)
+        self._partitioned.add(self._pair(a, b))
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Clear any degradation and partition on the link."""
+        self._degradations.pop(self._pair(a, b), None)
+        self._partitioned.discard(self._pair(a, b))
+
+    def link_state(self, a: str, b: str) -> Tuple[float, float]:
+        """(bandwidth_factor, latency_add_s) currently on the link."""
+        return self._degradations.get(self._pair(a, b), (1.0, 0.0))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """True while the direct link is severed."""
+        return self._pair(a, b) in self._partitioned
+
+    def _routing_graph(self) -> nx.Graph:
+        if not self._partitioned:
+            return self.graph
+        return nx.restricted_view(
+            self.graph, [], [tuple(pair) for pair in self._partitioned]
+        )
+
+    def _hop_time(self, a: str, b: str, num_bytes: int) -> float:
+        link = self.link_between(a, b)
+        factor, extra_latency = self.link_state(a, b)
+        if factor == 1.0 and extra_latency == 0.0:
+            return link.transfer_time(num_bytes)
+        return (
+            link.latency_s
+            + extra_latency
+            + link.per_message_overhead
+            + num_bytes / (link.bandwidth * factor)
+        )
+
+    # ------------------------------------------------------------------
+
     def path(self, source: str, target: str) -> List[str]:
-        """Shortest (fewest-hops) node path between two nodes."""
+        """Shortest (fewest-hops) node path avoiding partitioned links."""
         try:
-            return nx.shortest_path(self.graph, source, target)
+            return nx.shortest_path(
+                self._routing_graph(), source, target
+            )
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
             raise PlatformError(
                 f"no path between {source!r} and {target!r}"
@@ -94,7 +166,7 @@ class Ecosystem:
         total = 0.0
         hops = self.path(source, target)
         for a, b in zip(hops, hops[1:]):
-            total += self.link_between(a, b).transfer_time(num_bytes)
+            total += self._hop_time(a, b, num_bytes)
         return total
 
     def transfer_energy(self, source: str, target: str, num_bytes: int
@@ -116,7 +188,10 @@ class Ecosystem:
         total = 0.0
         hops = self.path(source, target)
         for a, b in zip(hops, hops[1:]):
-            total += self.link_between(a, b).record_transfer(num_bytes)
+            link = self.link_between(a, b)
+            link.bytes_transferred += num_bytes
+            link.messages += 1
+            total += self._hop_time(a, b, num_bytes)
         return total
 
     def bottleneck_bandwidth(self, source: str, target: str) -> float:
@@ -125,7 +200,7 @@ class Ecosystem:
             return float("inf")
         hops = self.path(source, target)
         return min(
-            self.link_between(a, b).bandwidth
+            self.link_between(a, b).bandwidth * self.link_state(a, b)[0]
             for a, b in zip(hops, hops[1:])
         )
 

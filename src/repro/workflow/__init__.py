@@ -22,9 +22,15 @@ from repro.workflow.recovery import (
     FailureInjection,
     RecoveryStats,
     ResilientServer,
+    RetryPolicy,
     migrate_task,
 )
-from repro.workflow.tracing import ExecutionTrace, TaskRecord
+from repro.workflow.tracing import (
+    ExecutionTrace,
+    FaultRecord,
+    RecoveryRecord,
+    TaskRecord,
+)
 
 __all__ = [
     "TaskGraph",
@@ -39,7 +45,10 @@ __all__ = [
     "ResilientServer",
     "FailureInjection",
     "RecoveryStats",
+    "RetryPolicy",
     "migrate_task",
     "ExecutionTrace",
     "TaskRecord",
+    "FaultRecord",
+    "RecoveryRecord",
 ]

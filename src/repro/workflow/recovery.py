@@ -5,37 +5,96 @@ of both data and computations" and the runtime can "seamlessly move
 the computation between edge nodes and also between edge and cloud
 parts". This module provides:
 
-* :class:`FailureInjection` — a worker crash at a simulated time;
-* :class:`ResilientServer` — a workflow server that survives crashes:
-  running tasks on a dead worker are re-queued, objects whose only
-  copy died are recovered through *lineage* (their producer chain is
-  re-executed), and external inputs are re-fetched from durable
-  storage at their home site.
+* :class:`FailureInjection` — a worker crash at a simulated time (the
+  legacy single-fault interface, kept for compatibility);
+* :class:`RetryPolicy` — configurable retry count, task timeout and
+  exponential backoff for re-queued task attempts;
+* :class:`ResilientServer` — a workflow server that survives the whole
+  chaos fault vocabulary (:mod:`repro.chaos.faults`): worker crashes
+  *and restarts*, link degradation/partition, vFPGA reconfiguration
+  failures, stragglers, and transient task faults. Running tasks on a
+  dead worker are re-queued with backoff, objects whose only copy died
+  are recovered through *lineage* (their producer chain is
+  re-executed), external inputs are re-fetched from durable storage,
+  and restarted workers are re-admitted to the pool. Every fault and
+  every recovery action lands in the
+  :class:`~repro.workflow.tracing.ExecutionTrace`.
 
 The recovery model mirrors Spark/HyperLoom lineage: nothing is
-checkpointed, everything is recomputable from the graph.
+checkpointed, everything is recomputable from the graph. During a
+vFPGA reconfiguration failure only the role logic is down; the shell
+keeps serving the worker's object store (cloudFPGA keeps the network
+stack in the static shell region), so the store survives while the
+worker is out of the pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.errors import WorkflowError
+from repro.chaos.faults import (
+    ANY_LINK,
+    LinkFault,
+    ReconfigFault,
+    StragglerFault,
+    TaskFault,
+    WorkerCrash,
+)
+from repro.chaos.schedule import ChaosSchedule
+from repro.errors import ChaosError, PlatformError, WorkflowError
 from repro.platform.simulator import Simulator
 from repro.platform.topology import Ecosystem
 from repro.workflow.graph import TaskGraph
 from repro.workflow.scheduler import BLevelScheduler, SchedulerPolicy
-from repro.workflow.tracing import ExecutionTrace, TaskRecord
+from repro.workflow.tracing import (
+    ExecutionTrace,
+    FaultRecord,
+    RecoveryRecord,
+    TaskRecord,
+)
 from repro.workflow.worker import Worker
+
+#: Cost returned to the scheduler for a placement whose staging path is
+#: currently unavailable (partition / lineage in flight): finite so
+#: policies can still order candidates, large enough to lose every tie.
+_UNREACHABLE_COST = 1e9
 
 
 @dataclass(frozen=True)
 class FailureInjection:
-    """Crash ``worker`` at simulated ``at_time`` seconds."""
+    """Crash ``worker`` at simulated ``at_time`` seconds (legacy API)."""
 
     worker: str
     at_time: float
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/backoff knobs for re-queued task attempts.
+
+    A task attempt that aborts (its worker failed, an injected task
+    fault fired, or staging hit a partition) is retried after an
+    exponential backoff ``base_backoff_s * backoff_factor**(n-1)``
+    capped at ``max_backoff_s``. After ``max_attempts`` aborted
+    attempts of one task the run raises :class:`ChaosError`.
+    ``task_timeout_s`` is a straggler watchdog: an attempt whose
+    projected wall time exceeds it is abandoned and re-queued, letting
+    the scheduler move it to a healthier worker.
+    """
+
+    max_attempts: int = 15
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    task_timeout_s: Optional[float] = None
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        delay = self.base_backoff_s * (
+            self.backoff_factor ** max(0, attempt - 1)
+        )
+        return min(delay, self.max_backoff_s)
 
 
 @dataclass
@@ -47,6 +106,13 @@ class RecoveryStats:
     objects_lost: int = 0
     tasks_relineaged: int = 0
     inputs_refetched: int = 0
+    restarts: int = 0
+    reconfig_faults: int = 0
+    stragglers: int = 0
+    link_faults: int = 0
+    task_faults: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
 
 
 class ResilientServer:
@@ -58,6 +124,7 @@ class ResilientServer:
         ecosystem: Optional[Ecosystem] = None,
         policy: Optional[SchedulerPolicy] = None,
         refetch_latency_s: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
     ):
         if not workers:
             raise WorkflowError("server needs at least one worker")
@@ -65,30 +132,70 @@ class ResilientServer:
         self.ecosystem = ecosystem
         self.policy = policy or BLevelScheduler()
         self.refetch_latency_s = refetch_latency_s
+        self.retry = retry or RetryPolicy()
         self._failed: Set[str] = set()
+        # Degradations on the default (no-ecosystem) staging path:
+        # a stack of (bandwidth_factor, latency_add_s) overlays plus a
+        # partition depth counter for overlapping faults.
+        self._default_degradations: List[tuple] = []
+        self._default_partitions = 0
 
     # ------------------------------------------------------------------
 
     def _alive(self) -> List[Worker]:
         return [w for w in self.workers if w.name not in self._failed]
 
+    def _worker(self, name: str) -> Worker:
+        for worker in self.workers:
+            if worker.name == name:
+                return worker
+        raise WorkflowError(f"unknown worker {name!r}")
+
     def _transfer_seconds(self, source: str, target: str,
                           size_bytes: int) -> float:
         if source == target or size_bytes == 0:
             return 0.0
         if self.ecosystem is not None:
-            src_node = next(
-                w.node_name for w in self.workers if w.name == source
-            )
-            dst_node = next(
-                w.node_name for w in self.workers if w.name == target
-            )
+            src_node = self._worker(source).node_name
+            dst_node = self._worker(target).node_name
             if src_node == dst_node:
                 return 0.0
             return self.ecosystem.transfer_time(
                 src_node, dst_node, size_bytes
             )
-        return 1e-3 + size_bytes / 1e9
+        if self._default_partitions > 0:
+            raise PlatformError(
+                "default staging path is partitioned"
+            )
+        factor = 1.0
+        latency_add = 0.0
+        for bw_factor, lat_add in self._default_degradations:
+            factor *= bw_factor
+            latency_add += lat_add
+        return 1e-3 + latency_add + size_bytes / (1e9 * factor)
+
+    # ------------------------------------------------------------------
+
+    def _validate_faults(self, chaos: ChaosSchedule) -> None:
+        names = {worker.name for worker in self.workers}
+        for fault in chaos.faults:
+            if isinstance(fault, (WorkerCrash, ReconfigFault,
+                                  StragglerFault)):
+                if fault.worker not in names:
+                    raise WorkflowError(
+                        f"{fault.kind} names unknown worker "
+                        f"{fault.worker!r}"
+                    )
+            elif isinstance(fault, LinkFault):
+                if fault.node_a != ANY_LINK or fault.node_b != ANY_LINK:
+                    if self.ecosystem is None:
+                        raise WorkflowError(
+                            f"link fault targets "
+                            f"{fault.node_a!r}<->{fault.node_b!r} but "
+                            f"the server has no ecosystem topology"
+                        )
+                    self.ecosystem.link_between(fault.node_a,
+                                                fault.node_b)
 
     # ------------------------------------------------------------------
 
@@ -96,20 +203,55 @@ class ResilientServer:
         self,
         graph: TaskGraph,
         failures: Optional[List[FailureInjection]] = None,
+        chaos: Optional[ChaosSchedule] = None,
     ) -> tuple:
-        """Execute with crash recovery.
+        """Execute with fault injection and recovery.
 
-        Returns (trace, recovery stats). Raises
-        :class:`WorkflowError` if every worker dies.
+        ``failures`` is the legacy interface (permanent worker crashes);
+        ``chaos`` is a full :class:`ChaosSchedule`. Returns
+        (trace, recovery stats). Raises :class:`WorkflowError` when
+        every worker dies with no restart pending, and
+        :class:`ChaosError` when a task exhausts its retry budget.
         """
         graph.validate()
         self.policy.prepare(graph)
         self._failed = set()
+        self._default_degradations = []
+        self._default_partitions = 0
+        retry = self.retry
         stats = RecoveryStats()
         trace = ExecutionTrace(
             graph_name=graph.name,
             policy=f"{self.policy.name}+recovery",
         )
+
+        all_faults: List = []
+        for injection in failures or []:
+            if injection.worker not in {w.name for w in self.workers}:
+                raise WorkflowError(
+                    f"failure names unknown worker {injection.worker!r}"
+                )
+            all_faults.append(WorkerCrash(
+                worker=injection.worker, at_time=injection.at_time,
+            ))
+        if chaos is not None:
+            self._validate_faults(chaos)
+            all_faults.extend(chaos.faults)
+        task_fault_names = {
+            fault.task for fault in all_faults
+            if isinstance(fault, TaskFault)
+        }
+        for name in sorted(task_fault_names):
+            if name not in graph.tasks:
+                raise WorkflowError(
+                    f"task-fault names unknown task {name!r}"
+                )
+        fault_budget: Dict[str, int] = {}
+        for fault in all_faults:
+            if isinstance(fault, TaskFault):
+                fault_budget[fault.task] = (
+                    fault_budget.get(fault.task, 0) + fault.failures
+                )
 
         sim = Simulator()
         locations: Dict[str, str] = {}
@@ -127,8 +269,15 @@ class ResilientServer:
 
         finished: Set[str] = set()
         running: Dict[str, Worker] = {}
+        backing_off: Set[str] = set()
         ready: List[str] = []
         ready_at: Dict[str, float] = {}
+        attempts: Dict[str, int] = {}
+        incarnations: Dict[str, int] = {
+            worker.name: 0 for worker in self.workers
+        }
+        pending = {"readmissions": 0}
+        deferred_refetch: Set[str] = set()
         wake = {"event": sim.event()}
 
         def deps_satisfied(task_name: str) -> bool:
@@ -142,6 +291,7 @@ class ResilientServer:
                 task_name not in ready
                 and task_name not in running
                 and task_name not in finished
+                and task_name not in backing_off
             ):
                 ready.append(task_name)
                 ready_at[task_name] = sim.now
@@ -155,48 +305,145 @@ class ResilientServer:
             for input_name in graph.tasks[task_name].inputs:
                 if worker.holds(input_name):
                     continue
-                total += self._transfer_seconds(
-                    locations[input_name], worker.name,
-                    graph.objects[input_name].size_bytes,
-                )
+                source = locations.get(input_name)
+                if source is None:
+                    return _UNREACHABLE_COST
+                try:
+                    total += self._transfer_seconds(
+                        source, worker.name,
+                        graph.objects[input_name].size_bytes,
+                    )
+                except PlatformError:
+                    return _UNREACHABLE_COST
             return total
 
         def poke() -> None:
             if not wake["event"].triggered:
                 wake["event"].trigger()
 
+        def recheck_ready() -> None:
+            for task_name in graph.tasks:
+                if deps_satisfied(task_name):
+                    mark_ready(task_name)
+
+        # -- task attempts ---------------------------------------------
+
+        def requeue(task_name: str, worker: Worker, alive: bool,
+                    reason: str):
+            """Abort the current attempt and retry after backoff."""
+            task = graph.tasks[task_name]
+            running.pop(task_name, None)
+            if alive:
+                worker.release(task.cpus)
+            stats.tasks_requeued += 1
+            attempts[task_name] = attempts.get(task_name, 0) + 1
+            attempt = attempts[task_name]
+            if attempt >= retry.max_attempts:
+                raise ChaosError(
+                    f"task {task_name!r} aborted {attempt} times "
+                    f"(last: {reason}); retry budget exhausted"
+                )
+            delay = retry.backoff_for(attempt)
+            stats.backoff_seconds += delay
+            backing_off.add(task_name)
+            trace.add_recovery(RecoveryRecord(
+                action="backoff", target=task_name, time=sim.now,
+                detail=f"attempt {attempt} aborted ({reason}); "
+                       f"retry in {delay:.3f}s",
+            ))
+            if delay:
+                yield sim.timeout(delay)
+            backing_off.discard(task_name)
+            stats.retries += 1
+            trace.add_recovery(RecoveryRecord(
+                action="retry", target=task_name, time=sim.now,
+                detail=f"attempt {attempt + 1}",
+            ))
+            if deps_satisfied(task_name):
+                mark_ready(task_name)
+            poke()
+
         def run_task(task_name: str, worker: Worker):
+            epoch = incarnations[worker.name]
             task = graph.tasks[task_name]
             start_ready = ready_at.get(task_name, sim.now)
             start = sim.now
             staging = 0.0
             moved = 0
-            aborted = False
+
+            def worker_ok() -> bool:
+                return (
+                    worker.name not in self._failed
+                    and incarnations[worker.name] == epoch
+                )
+
             for input_name in task.inputs:
                 if worker.holds(input_name):
                     continue
-                seconds = self._transfer_seconds(
-                    locations[input_name], worker.name,
-                    graph.objects[input_name].size_bytes,
-                )
+                source = locations.get(input_name)
+                if source is None:
+                    yield from requeue(
+                        task_name, worker, worker_ok(),
+                        f"input {input_name!r} unavailable",
+                    )
+                    return
+                try:
+                    seconds = self._transfer_seconds(
+                        source, worker.name,
+                        graph.objects[input_name].size_bytes,
+                    )
+                except PlatformError as exc:
+                    yield from requeue(
+                        task_name, worker, worker_ok(), str(exc)
+                    )
+                    return
                 if seconds:
                     yield sim.timeout(seconds)
-                if worker.name in self._failed:
-                    aborted = True
-                    break
+                if not worker_ok():
+                    yield from requeue(
+                        task_name, worker, False,
+                        f"worker {worker.name!r} failed during staging",
+                    )
+                    return
                 staging += seconds
                 moved += graph.objects[input_name].size_bytes
                 worker.store.add(input_name)
-            if not aborted:
-                yield sim.timeout(worker.execution_time(task.duration_s))
-                aborted = worker.name in self._failed
-            running.pop(task_name, None)
-            if aborted:
-                stats.tasks_requeued += 1
-                if deps_satisfied(task_name):
-                    mark_ready(task_name)
-                poke()
+
+            duration = worker.execution_time(task.duration_s)
+            if fault_budget.get(task_name, 0) > 0:
+                fault_budget[task_name] -= 1
+                # the fault bites mid-execution: half the work is lost
+                yield sim.timeout(duration * 0.5)
+                stats.task_faults += 1
+                trace.add_fault(FaultRecord(
+                    kind="task-fault", target=task_name, time=sim.now,
+                    detail=f"transient fault on {worker.name}",
+                ))
+                yield from requeue(
+                    task_name, worker, worker_ok(), "transient task fault"
+                )
                 return
+            if (
+                retry.task_timeout_s is not None
+                and duration > retry.task_timeout_s
+            ):
+                yield sim.timeout(retry.task_timeout_s)
+                yield from requeue(
+                    task_name, worker, worker_ok(),
+                    f"timeout: projected {duration:.3f}s > "
+                    f"{retry.task_timeout_s:.3f}s",
+                )
+                return
+            if task.payload is not None:
+                task.payload()
+            yield sim.timeout(duration)
+            if not worker_ok():
+                yield from requeue(
+                    task_name, worker, False,
+                    f"worker {worker.name!r} failed mid-task",
+                )
+                return
+            running.pop(task_name, None)
             worker.busy_seconds += task.duration_s * task.cpus
             worker.tasks_executed += 1
             worker.release(task.cpus)
@@ -214,6 +461,8 @@ class ResilientServer:
                     mark_ready(consumer)
             poke()
 
+        # -- object recovery -------------------------------------------
+
         def invalidate(task_name: str, seen: Set[str]) -> None:
             """Lineage: re-run a task whose output was lost."""
             if task_name in seen:
@@ -222,76 +471,210 @@ class ResilientServer:
             if task_name in finished:
                 finished.discard(task_name)
                 stats.tasks_relineaged += 1
+                trace.add_recovery(RecoveryRecord(
+                    action="lineage", target=task_name, time=sim.now,
+                    detail="output lost; re-executing producer",
+                ))
             for output_name in graph.tasks[task_name].outputs:
                 locations.pop(output_name, None)
                 for worker in self.workers:
                     worker.store.discard(output_name)
-                for consumer in graph.consumers(task_name):
-                    invalidate(consumer, seen)
+            for consumer in graph.consumers(task_name):
+                invalidate(consumer, seen)
             if deps_satisfied(task_name):
                 mark_ready(task_name)
 
-        def fail_worker(injection: FailureInjection):
-            yield sim.timeout(injection.at_time)
-            victim = next(
-                (w for w in self.workers
-                 if w.name == injection.worker), None,
-            )
-            if victim is None:
-                raise WorkflowError(
-                    f"failure names unknown worker "
-                    f"{injection.worker!r}"
-                )
+        def refetch(object_name: str):
+            """Re-fetch a durable external input, or defer if no
+            worker is alive to receive it."""
+            home = homes[object_name]
+            target = next(
+                (w for w in self._alive() if w.name == home), None,
+            ) or (self._alive()[0] if self._alive() else None)
+            if target is None:
+                deferred_refetch.add(object_name)
+                return
+            yield sim.timeout(self.refetch_latency_s)
+            if target.name in self._failed:
+                deferred_refetch.add(object_name)
+                return
+            target.store.add(object_name)
+            locations[object_name] = target.name
+            stats.inputs_refetched += 1
+            trace.add_recovery(RecoveryRecord(
+                action="refetch", target=object_name, time=sim.now,
+                detail=f"to {target.name}",
+            ))
+
+        def take_down(victim: Worker, lose_store: bool):
+            """Shared crash/reconfig path: remove from pool, free
+            slots, and (for crashes) recover the lost objects."""
             self._failed.add(victim.name)
-            stats.failures += 1
+            incarnations[victim.name] += 1
+            if not lose_store:
+                victim.busy_cpus = 0
+                return
             lost_objects = set(victim.store)
-            victim.store.clear()
+            victim.reset()
             seen: Set[str] = set()
             for object_name in sorted(lost_objects):
-                # other copies survive only if some live worker holds it
-                if any(
-                    w.holds(object_name) for w in self._alive()
-                ):
-                    survivor = next(
-                        w for w in self._alive()
-                        if w.holds(object_name)
-                    )
+                survivor = next(
+                    (w for w in self._alive()
+                     if w.holds(object_name)), None,
+                )
+                if survivor is not None:
                     locations[object_name] = survivor.name
                     continue
                 stats.objects_lost += 1
                 producer = graph.objects[object_name].producer
                 if producer is None:
-                    # durable external input: re-fetch to its home
-                    home = homes[object_name]
-                    target = next(
-                        (w for w in self._alive()
-                         if w.name == home), None,
-                    ) or (self._alive()[0] if self._alive() else None)
-                    if target is not None:
-                        yield sim.timeout(self.refetch_latency_s)
-                        target.store.add(object_name)
-                        locations[object_name] = target.name
-                        stats.inputs_refetched += 1
+                    locations.pop(object_name, None)
+                    yield from refetch(object_name)
                 else:
                     invalidate(producer, seen)
-            # tasks consuming now-invalid inputs get re-marked when
-            # their lineage completes; re-check ready set
-            for task_name in graph.tasks:
-                if (
-                    task_name not in finished
-                    and task_name not in running
-                    and deps_satisfied(task_name)
-                ):
-                    mark_ready(task_name)
+
+        def readmit(victim: Worker, action: str, down_incarnation: int,
+                    fresh: bool):
+            """Return a worker to the pool after restart/repair."""
+            pending["readmissions"] -= 1
+            if (
+                victim.name in self._failed
+                and incarnations[victim.name] == down_incarnation
+            ):
+                self._failed.discard(victim.name)
+                if fresh:
+                    victim.reset()
+                stats.restarts += 1
+                trace.add_recovery(RecoveryRecord(
+                    action=action, target=victim.name, time=sim.now,
+                ))
+                for object_name in sorted(deferred_refetch):
+                    deferred_refetch.discard(object_name)
+                    yield from refetch(object_name)
+            recheck_ready()
             poke()
 
-        for injection in failures or []:
-            sim.process(fail_worker(injection),
-                        name=f"fail:{injection.worker}")
+        # -- fault application processes -------------------------------
+
+        def apply_crash(fault: WorkerCrash):
+            yield sim.timeout(fault.at_time)
+            victim = self._worker(fault.worker)
+            detail = (
+                "permanent" if fault.restart_after is None
+                else f"restart in {fault.restart_after:.3f}s"
+            )
+            trace.add_fault(FaultRecord(
+                kind="worker-crash", target=victim.name, time=sim.now,
+                detail=detail,
+            ))
+            stats.failures += 1
+            yield from take_down(victim, lose_store=True)
+            recheck_ready()
+            poke()
+            if fault.restart_after is not None:
+                down = incarnations[victim.name]
+                pending["readmissions"] += 1
+                yield sim.timeout(fault.restart_after)
+                yield from readmit(
+                    victim, "worker-restart", down, fresh=True
+                )
+
+        def apply_reconfig(fault: ReconfigFault):
+            yield sim.timeout(fault.at_time)
+            victim = self._worker(fault.worker)
+            trace.add_fault(FaultRecord(
+                kind="reconfig-failure", target=victim.name,
+                time=sim.now, detail=f"repair in {fault.repair_s:.3f}s",
+            ))
+            stats.reconfig_faults += 1
+            yield from take_down(victim, lose_store=False)
+            recheck_ready()
+            poke()
+            down = incarnations[victim.name]
+            pending["readmissions"] += 1
+            yield sim.timeout(fault.repair_s)
+            yield from readmit(
+                victim, "worker-readmit", down, fresh=False
+            )
+
+        def apply_straggler(fault: StragglerFault):
+            yield sim.timeout(fault.at_time)
+            victim = self._worker(fault.worker)
+            trace.add_fault(FaultRecord(
+                kind="straggler", target=victim.name, time=sim.now,
+                detail=f"{fault.slowdown:.2f}x for "
+                       f"{fault.duration_s:.3f}s",
+            ))
+            stats.stragglers += 1
+            epoch = incarnations[victim.name]
+            victim.slowdown = max(victim.slowdown, fault.slowdown)
+            yield sim.timeout(fault.duration_s)
+            if incarnations[victim.name] == epoch:
+                victim.slowdown = 1.0
+            trace.add_recovery(RecoveryRecord(
+                action="straggler-clear", target=victim.name,
+                time=sim.now,
+            ))
+            poke()
+
+        def apply_link(fault: LinkFault):
+            yield sim.timeout(fault.at_time)
+            detail = (
+                "severed" if fault.partition
+                else f"bandwidth x{fault.bandwidth_factor:.3f}, "
+                     f"+{fault.latency_add_s * 1e3:.1f}ms"
+            )
+            trace.add_fault(FaultRecord(
+                kind=fault.kind, target=fault.target, time=sim.now,
+                detail=detail,
+            ))
+            stats.link_faults += 1
+            wildcard = fault.node_a == ANY_LINK
+            overlay = (fault.bandwidth_factor, fault.latency_add_s)
+            if wildcard:
+                if fault.partition:
+                    self._default_partitions += 1
+                else:
+                    self._default_degradations.append(overlay)
+            elif fault.partition:
+                self.ecosystem.partition_link(fault.node_a, fault.node_b)
+            else:
+                self.ecosystem.degrade_link(
+                    fault.node_a, fault.node_b,
+                    bandwidth_factor=fault.bandwidth_factor,
+                    latency_add_s=fault.latency_add_s,
+                )
+            yield sim.timeout(fault.duration_s)
+            if wildcard:
+                if fault.partition:
+                    self._default_partitions -= 1
+                else:
+                    self._default_degradations.remove(overlay)
+            else:
+                self.ecosystem.restore_link(fault.node_a, fault.node_b)
+            trace.add_recovery(RecoveryRecord(
+                action="link-heal", target=fault.target, time=sim.now,
+            ))
+            poke()
+
+        appliers = {
+            WorkerCrash: apply_crash,
+            ReconfigFault: apply_reconfig,
+            StragglerFault: apply_straggler,
+            LinkFault: apply_link,
+        }
+        for fault in all_faults:
+            applier = appliers.get(type(fault))
+            if applier is not None:
+                sim.process(
+                    applier(fault), name=f"fault:{fault.kind}"
+                )
+
+        # -- dispatch loop ---------------------------------------------
 
         def dispatcher():
             while len(finished) < len(graph.tasks):
-                if not self._alive():
+                if not self._alive() and pending["readmissions"] == 0:
                     raise WorkflowError(
                         "all workers failed; workflow cannot complete"
                     )

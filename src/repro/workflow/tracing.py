@@ -1,8 +1,17 @@
-"""Execution traces of workflow runs."""
+"""Execution traces of workflow runs.
+
+Besides per-task timing (:class:`TaskRecord`), a trace records every
+injected fault (:class:`FaultRecord`) and every recovery action the
+server took in response (:class:`RecoveryRecord`), so a chaos run is
+fully auditable: each fault in a schedule must show up here, and the
+whole trace serializes deterministically for replay comparison.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
 
@@ -30,12 +39,45 @@ class TaskRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One injected fault, as observed by the runtime.
+
+    ``kind`` is the fault class (``worker-crash``, ``link-degradation``,
+    ``link-partition``, ``reconfig-failure``, ``straggler``,
+    ``task-fault``); ``target`` names the worker, link (``a<->b``) or
+    task hit; ``detail`` carries class-specific parameters.
+    """
+
+    kind: str
+    target: str
+    time: float
+    detail: str = ""
+
+
+@dataclass
+class RecoveryRecord:
+    """One recovery action the resilient server took.
+
+    ``action`` is one of ``requeue``, ``retry``, ``backoff``,
+    ``lineage``, ``refetch``, ``worker-restart``, ``worker-readmit``,
+    ``link-heal``, ``straggler-clear``.
+    """
+
+    action: str
+    target: str
+    time: float
+    detail: str = ""
+
+
+@dataclass
 class ExecutionTrace:
     """The full record of one workflow execution."""
 
     graph_name: str
     policy: str
     records: List[TaskRecord] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
     makespan: float = 0.0
     bytes_moved: int = 0
 
@@ -44,6 +86,50 @@ class ExecutionTrace:
         self.records.append(record)
         self.makespan = max(self.makespan, record.end)
         self.bytes_moved += record.bytes_moved
+
+    def add_fault(self, record: FaultRecord) -> None:
+        """Record an injected fault."""
+        self.faults.append(record)
+
+    def add_recovery(self, record: RecoveryRecord) -> None:
+        """Record a recovery action."""
+        self.recoveries.append(record)
+
+    def faults_by_kind(self) -> Dict[str, int]:
+        """Injected fault count per fault class."""
+        counts: Dict[str, int] = {}
+        for fault in self.faults:
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        return counts
+
+    def recoveries_by_action(self) -> Dict[str, int]:
+        """Recovery action count per action type."""
+        counts: Dict[str, int] = {}
+        for recovery in self.recoveries:
+            counts[recovery.action] = counts.get(recovery.action, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict:
+        """Plain-data form of the whole trace (records in order)."""
+        return {
+            "graph_name": self.graph_name,
+            "policy": self.policy,
+            "makespan": self.makespan,
+            "bytes_moved": self.bytes_moved,
+            "records": [asdict(r) for r in self.records],
+            "faults": [asdict(f) for f in self.faults],
+            "recoveries": [asdict(r) for r in self.recoveries],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: identical runs give identical
+        bytes, so chaos replays can be compared byte-for-byte."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Short content hash of the serialized trace."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
 
     def per_worker_counts(self) -> Dict[str, int]:
         """Tasks executed per worker."""

@@ -28,6 +28,8 @@ class Worker:
     busy_cpus: int = field(default=0, init=False)
     tasks_executed: int = field(default=0, init=False)
     busy_seconds: float = field(default=0.0, init=False)
+    #: >1.0 while the worker is a straggler (chaos-injected slowdown).
+    slowdown: float = field(default=1.0, init=False)
 
     def __post_init__(self):
         check_positive("cpus", self.cpus)
@@ -43,7 +45,17 @@ class Worker:
         return self.free_cpus >= cpus
 
     def acquire(self, cpus: int) -> None:
-        """Reserve slots for a task."""
+        """Reserve slots for a task.
+
+        Raises :class:`WorkflowError` on a non-positive request (which
+        would silently corrupt the accounting) or when the request
+        exceeds the free slots.
+        """
+        if cpus <= 0:
+            raise WorkflowError(
+                f"worker {self.name!r}: acquire of {cpus} cpus; the "
+                f"request must be positive"
+            )
         if not self.can_run(cpus):
             raise WorkflowError(
                 f"worker {self.name!r}: requested {cpus} cpus, only "
@@ -52,7 +64,17 @@ class Worker:
         self.busy_cpus += cpus
 
     def release(self, cpus: int) -> None:
-        """Return slots after a task finishes."""
+        """Return slots after a task finishes.
+
+        Raises :class:`WorkflowError` on a non-positive count (which
+        would silently inflate capacity) or when releasing more slots
+        than are busy.
+        """
+        if cpus <= 0:
+            raise WorkflowError(
+                f"worker {self.name!r}: release of {cpus} cpus; the "
+                f"count must be positive"
+            )
         if cpus > self.busy_cpus:
             raise WorkflowError(
                 f"worker {self.name!r}: releasing {cpus} cpus but only "
@@ -60,13 +82,30 @@ class Worker:
             )
         self.busy_cpus -= cpus
 
+    def reset(self) -> None:
+        """Restart bookkeeping: empty store, all slots free, no slowdown.
+
+        Called when a crashed worker process is re-admitted to the
+        pool; its in-memory object store did not survive the crash.
+        """
+        self.store.clear()
+        self.busy_cpus = 0
+        self.slowdown = 1.0
+
     def holds(self, object_name: str) -> bool:
         """True when the object is in this worker's local store."""
         return object_name in self.store
 
     def execution_time(self, duration_s: float) -> float:
-        """Wall time of a task with nominal duration on this worker."""
-        return duration_s / self.speed_factor
+        """Wall time of a task with nominal duration on this worker.
+
+        Straggler slowdowns — on the worker itself or its platform
+        node — stretch the nominal duration.
+        """
+        slowdown = self.slowdown
+        if self.node is not None:
+            slowdown *= self.node.slowdown
+        return duration_s * slowdown / self.speed_factor
 
     def utilization(self, elapsed: float) -> float:
         """Busy fraction over an elapsed window."""

@@ -1,0 +1,21 @@
+"""Shared helpers for the chaos suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow.worker import Worker
+
+
+def make_pool(count: int = 3, cpus: int = 2):
+    """A fresh worker pool (never share Workers between runs: they
+    carry mutable stores and slot accounting)."""
+    return [
+        Worker(f"w{index}", node_name=f"n{index}", cpus=cpus)
+        for index in range(count)
+    ]
+
+
+@pytest.fixture
+def pool():
+    return make_pool()

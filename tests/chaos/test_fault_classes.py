@@ -1,0 +1,362 @@
+"""Each fault class exercised in isolation against ResilientServer.
+
+The invariants suite throws everything at once; these tests pin down
+the *mechanism* of each fault class — what breaks, what the recovery
+path does, and what lands in the trace.
+"""
+
+import pytest
+
+from repro.chaos import ChaosConfig  # noqa: F401  (re-export sanity)
+from repro.chaos.faults import (
+    ANY_LINK,
+    LinkFault,
+    ReconfigFault,
+    StragglerFault,
+    TaskFault,
+    WorkerCrash,
+)
+from repro.chaos.schedule import ChaosSchedule
+from repro.errors import WorkflowError
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+from repro.workflow.recovery import ResilientServer, RetryPolicy
+from repro.workflow.worker import Worker
+
+from tests.chaos.conftest import make_pool
+
+
+def chain_graph(length=4, duration=1.0) -> TaskGraph:
+    graph = TaskGraph("chain")
+    graph.add_object(DataObject("in", size_bytes=1000, locality="w0"))
+    previous = "in"
+    for index in range(length):
+        graph.add_task(WorkflowTask(
+            f"t{index}", inputs=[previous], outputs=[f"o{index}"],
+            duration_s=duration,
+        ))
+        previous = f"o{index}"
+    return graph
+
+
+def fan_graph(width=6, duration=1.0) -> TaskGraph:
+    graph = TaskGraph("fan")
+    graph.add_object(DataObject("in", size_bytes=1000, locality="w0"))
+    for index in range(width):
+        graph.add_task(WorkflowTask(
+            f"leaf{index}", inputs=["in"], outputs=[f"l{index}"],
+            duration_s=duration,
+        ))
+    return graph
+
+
+def big_input_graph(size_bytes=10**9) -> TaskGraph:
+    """Two independent consumers of one large input: whichever task
+    is placed off ``w0`` must stage the input over the (degradable)
+    default path."""
+    graph = TaskGraph("big")
+    graph.add_object(DataObject(
+        "in", size_bytes=size_bytes, locality="w0",
+    ))
+    for index in range(2):
+        graph.add_task(WorkflowTask(
+            f"t{index}", inputs=["in"], outputs=[f"o{index}"],
+            duration_s=1.0,
+        ))
+    return graph
+
+
+def schedule_of(*faults) -> ChaosSchedule:
+    return ChaosSchedule(seed=0, faults=list(faults))
+
+
+class TestWorkerCrashAndRestart:
+    def test_restarted_worker_is_readmitted_and_reused(self):
+        graph = fan_graph(width=10)
+        pool = make_pool(2)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(
+                WorkerCrash("w0", at_time=0.5, restart_after=0.5),
+            ),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.failures == 1
+        assert stats.restarts == 1
+        restarts = [
+            r for r in trace.recoveries if r.action == "worker-restart"
+        ]
+        assert len(restarts) == 1
+        restart_time = restarts[0].time
+        # the restarted worker took on new work after re-admission
+        assert any(
+            r.worker == "w0" and r.start >= restart_time - 1e-9
+            for r in trace.records
+        )
+
+    def test_crash_loses_store_and_triggers_recovery(self):
+        graph = chain_graph(length=3, duration=1.0)
+        pool = make_pool(2)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(
+                WorkerCrash("w0", at_time=1.5, restart_after=0.4),
+            ),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        # in + o0 (and the mid-flight t1 attempt) lived only on w0
+        assert stats.objects_lost >= 1
+        assert stats.tasks_relineaged + stats.inputs_refetched >= 1
+
+    def test_permanent_crash_of_sole_worker_raises(self):
+        graph = chain_graph(length=2, duration=2.0)
+        server = ResilientServer(make_pool(1))
+        with pytest.raises(WorkflowError, match="all workers failed"):
+            server.run(graph, chaos=schedule_of(
+                WorkerCrash("w0", at_time=0.5),
+            ))
+
+    def test_restart_pending_keeps_workflow_alive(self):
+        """Every worker down at once — but a restart is scheduled, so
+        the run must wait it out rather than abort."""
+        graph = chain_graph(length=2, duration=1.0)
+        pool = make_pool(1)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(
+                WorkerCrash("w0", at_time=0.5, restart_after=0.5),
+            ),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.restarts == 1
+
+    def test_unknown_crash_target_rejected_eagerly(self):
+        server = ResilientServer(make_pool(2))
+        with pytest.raises(WorkflowError, match="unknown worker"):
+            server.run(chain_graph(), chaos=schedule_of(
+                WorkerCrash("ghost", at_time=0.5),
+            ))
+
+
+class TestLinkFaults:
+    def test_degradation_slows_staging(self):
+        clean, _ = ResilientServer(make_pool(2, cpus=1)).run(
+            big_input_graph()
+        )
+        degraded, stats = ResilientServer(make_pool(2, cpus=1)).run(
+            big_input_graph(),
+            chaos=schedule_of(LinkFault(
+                ANY_LINK, ANY_LINK, at_time=0.0, duration_s=0.5,
+                bandwidth_factor=0.1,
+            )),
+        )
+        assert stats.link_faults == 1
+        assert degraded.makespan > clean.makespan * 2
+        assert degraded.faults_by_kind() == {"link-degradation": 1}
+        assert any(
+            r.action == "link-heal" for r in degraded.recoveries
+        )
+
+    def test_partition_forces_backoff_then_heals(self):
+        graph = big_input_graph()
+        pool = make_pool(2, cpus=1)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(LinkFault(
+                ANY_LINK, ANY_LINK, at_time=0.0, duration_s=0.6,
+                partition=True,
+            )),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert trace.faults_by_kind() == {"link-partition": 1}
+        # staging across the severed path was retried with backoff
+        assert stats.retries >= 1
+        assert stats.backoff_seconds > 0.0
+        actions = trace.recoveries_by_action()
+        assert actions.get("backoff", 0) >= 1
+        assert actions.get("retry", 0) >= 1
+        assert actions.get("link-heal", 0) == 1
+        # no attempt finished a cross-worker staging while severed
+        heal_time = next(
+            r.time for r in trace.recoveries if r.action == "link-heal"
+        )
+        for record in trace.records:
+            if record.transfer_seconds > 0.0:
+                assert record.start >= heal_time - 1e-9
+
+    def test_targeted_fault_needs_ecosystem(self):
+        server = ResilientServer(make_pool(2))
+        with pytest.raises(WorkflowError, match="no ecosystem"):
+            server.run(chain_graph(), chaos=schedule_of(LinkFault(
+                "edge-0", "dc-switch", at_time=0.0, duration_s=1.0,
+                partition=True,
+            )))
+
+    def test_targeted_fault_on_reference_ecosystem(self):
+        from repro.platform.topology import build_reference_ecosystem
+
+        eco = build_reference_ecosystem()
+        workers = [
+            Worker("w0", node_name="edge-0", cpus=2),
+            Worker("w1", node_name="power9-0", cpus=2),
+        ]
+        graph = TaskGraph("eco")
+        graph.add_object(DataObject(
+            "in", size_bytes=10**7, locality="edge-0",
+        ))
+        for index in range(4):
+            graph.add_task(WorkflowTask(
+                f"t{index}", inputs=["in"], outputs=[f"o{index}"],
+                duration_s=0.5,
+            ))
+        trace, stats = ResilientServer(workers, ecosystem=eco).run(
+            graph, chaos=schedule_of(LinkFault(
+                "dc-switch", "power9-0", at_time=0.0, duration_s=0.5,
+                partition=True,
+            )),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.link_faults == 1
+        # the overlay is cleaned up after healing
+        assert not eco.is_partitioned("dc-switch", "power9-0")
+
+
+class TestReconfigurationFaults:
+    def test_store_survives_role_reconfiguration(self):
+        """A vFPGA reconfig failure takes the worker out of the pool
+        but the shell keeps serving its object store: nothing is lost,
+        nothing is re-lineaged."""
+        graph = chain_graph(length=3, duration=1.0)
+        pool = make_pool(2)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(
+                ReconfigFault("w0", at_time=1.5, repair_s=0.5),
+            ),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.reconfig_faults == 1
+        assert stats.objects_lost == 0
+        assert stats.tasks_relineaged == 0
+        assert stats.inputs_refetched == 0
+        assert trace.faults_by_kind() == {"reconfig-failure": 1}
+        assert trace.recoveries_by_action().get("worker-readmit") == 1
+
+    def test_midflight_attempt_on_reconfiguring_worker_requeued(self):
+        graph = chain_graph(length=2, duration=2.0)
+        pool = make_pool(2)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(
+                ReconfigFault("w0", at_time=1.0, repair_s=0.5),
+            ),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.tasks_requeued >= 1
+
+
+class TestStragglers:
+    def test_straggler_stretches_execution(self):
+        clean, _ = ResilientServer(make_pool(1)).run(
+            chain_graph(length=3, duration=1.0)
+        )
+        slowed, stats = ResilientServer(make_pool(1)).run(
+            chain_graph(length=3, duration=1.0),
+            chaos=schedule_of(StragglerFault(
+                "w0", at_time=0.0, duration_s=100.0, slowdown=2.0,
+            )),
+        )
+        assert stats.stragglers == 1
+        assert slowed.makespan == pytest.approx(
+            clean.makespan * 2.0, rel=0.01
+        )
+        for record in slowed.records:
+            assert record.end - record.start == pytest.approx(
+                2.0, rel=0.01
+            )
+
+    def test_slowdown_cleared_after_window(self):
+        pool = make_pool(1)
+        trace, _stats = ResilientServer(pool).run(
+            chain_graph(length=4, duration=1.0),
+            chaos=schedule_of(StragglerFault(
+                "w0", at_time=0.0, duration_s=2.5, slowdown=3.0,
+            )),
+        )
+        assert pool[0].slowdown == 1.0
+        assert any(
+            r.action == "straggler-clear" for r in trace.recoveries
+        )
+        # tasks started after the window run at nominal speed again
+        clear_time = next(
+            r.time for r in trace.recoveries
+            if r.action == "straggler-clear"
+        )
+        post = [r for r in trace.records if r.start >= clear_time]
+        assert post
+        for record in post:
+            assert record.end - record.start == pytest.approx(
+                1.0, rel=0.01
+            )
+
+    def test_timeout_watchdog_requeues_straggling_attempt(self):
+        graph = fan_graph(width=4, duration=1.0)
+        pool = make_pool(2)
+        server = ResilientServer(
+            pool, retry=RetryPolicy(task_timeout_s=1.5),
+        )
+        trace, stats = server.run(
+            graph, chaos=schedule_of(StragglerFault(
+                "w0", at_time=0.0, duration_s=2.0, slowdown=4.0,
+            )),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.tasks_requeued >= 1
+        assert any(
+            "timeout" in r.detail for r in trace.recoveries
+            if r.action == "backoff"
+        )
+        # no completed record ever exceeded the watchdog
+        for record in trace.records:
+            assert record.end - record.start <= 1.5 + 1e-9
+
+
+class TestTransientTaskFaults:
+    def test_faults_consume_budget_then_succeed(self):
+        graph = chain_graph(length=2, duration=1.0)
+        pool = make_pool(2)
+        trace, stats = ResilientServer(pool).run(
+            graph, chaos=schedule_of(TaskFault("t0", failures=2)),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.task_faults == 2
+        assert trace.faults_by_kind() == {"task-fault": 2}
+        # only the successful attempt is recorded
+        assert len([r for r in trace.records if r.task == "t0"]) == 1
+
+    def test_backoff_escalates_between_retries(self):
+        graph = chain_graph(length=1, duration=1.0)
+        pool = make_pool(1)
+        server = ResilientServer(pool)
+        trace, stats = server.run(
+            graph, chaos=schedule_of(TaskFault("t0", failures=3)),
+        )
+        backoffs = [
+            r for r in trace.recoveries
+            if r.action == "backoff" and r.target == "t0"
+        ]
+        assert len(backoffs) == 3
+        policy = server.retry
+        expected = sum(policy.backoff_for(n) for n in (1, 2, 3))
+        assert stats.backoff_seconds == pytest.approx(expected)
+        # exponential: each backoff doubles
+        assert policy.backoff_for(2) == 2 * policy.backoff_for(1)
+
+    def test_unknown_task_fault_rejected_eagerly(self):
+        server = ResilientServer(make_pool(2))
+        with pytest.raises(WorkflowError, match="unknown task"):
+            server.run(chain_graph(), chaos=schedule_of(
+                TaskFault("ghost", failures=1),
+            ))
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_backoff_s=0.1, backoff_factor=10.0,
+                             max_backoff_s=1.0)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(1.0)
+        assert policy.backoff_for(9) == pytest.approx(1.0)

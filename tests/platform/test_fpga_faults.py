@@ -1,0 +1,91 @@
+"""Injected partial-reconfiguration faults on the FPGA device model."""
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.platform.fpga import Bitstream, make_ku060, make_vu9p
+from repro.platform.resources import FPGAResources
+
+
+def small_bitstream(name="acc") -> Bitstream:
+    return Bitstream(
+        name=name,
+        footprint=FPGAResources(
+            luts=50_000, ffs=80_000, bram_kb=1_000, dsps=100,
+        ),
+        clock_hz=200e6,
+    )
+
+
+class TestInjectedReconfigFaults:
+    def test_armed_fault_fails_next_load(self):
+        device = make_ku060("fpga0")
+        device.inject_reconfig_failures(1)
+        with pytest.raises(ReconfigurationError, match="retry the load"):
+            device.load(small_bitstream())
+        assert device.failed_reconfigurations == 1
+        # the role was left untouched by the failed attempt
+        assert device.roles[0].loaded is None
+        assert device.roles[0].reconfigurations == 0
+
+    def test_retry_after_fault_succeeds(self):
+        device = make_ku060("fpga0")
+        device.inject_reconfig_failures(1)
+        image = small_bitstream()
+        with pytest.raises(ReconfigurationError):
+            device.load(image)
+        role = device.load(image)
+        assert role.loaded is image
+        assert role.reconfigurations == 1
+        assert device.failed_reconfigurations == 1
+
+    def test_multiple_armed_faults_consumed_in_order(self):
+        device = make_vu9p("fpga0", role_slots=2)
+        device.inject_reconfig_failures(2)
+        image = small_bitstream()
+        for _ in range(2):
+            with pytest.raises(ReconfigurationError):
+                device.load(image)
+        assert device.failed_reconfigurations == 2
+        assert device.load(image).loaded is image
+
+    def test_failed_attempt_still_costs_reconfig_time(self):
+        """The image streams through the configuration port before the
+        CRC/timeout bites, so the wasted seconds are accounted."""
+        device = make_ku060("fpga0")
+        image = small_bitstream()
+        expected = device.reconfiguration_time(image)
+        device.inject_reconfig_failures(1)
+        with pytest.raises(ReconfigurationError):
+            device.load(image)
+        assert device.total_reconfig_time == pytest.approx(expected)
+        device.load(image)
+        assert device.total_reconfig_time == pytest.approx(2 * expected)
+
+    def test_capacity_errors_do_not_consume_armed_faults(self):
+        device = make_ku060("fpga0")
+        device.inject_reconfig_failures(1)
+        huge = Bitstream(
+            name="huge",
+            footprint=FPGAResources(
+                luts=10**7, ffs=10**7, bram_kb=10**6, dsps=10**5,
+            ),
+            clock_hz=100e6,
+        )
+        from repro.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            device.load(huge)
+        # the armed fault is still pending for the next real load
+        with pytest.raises(ReconfigurationError):
+            device.load(small_bitstream())
+
+    def test_negative_count_rejected(self):
+        device = make_ku060("fpga0")
+        with pytest.raises(Exception):
+            device.inject_reconfig_failures(-1)
+
+    def test_reconfiguration_error_is_platform_error(self):
+        from repro.errors import PlatformError
+
+        assert issubclass(ReconfigurationError, PlatformError)

@@ -161,6 +161,88 @@ class TestCrashRecovery:
         assert {r.task for r in trace.records} >= set(graph.tasks)
 
 
+class TestEdgeCases:
+    def test_crash_loses_only_copy_of_multi_consumer_object(self):
+        """The producer's worker dies holding the sole copy of an
+        object three consumers need: lineage must re-run the producer
+        and every consumer must still complete."""
+        from repro.chaos.faults import WorkerCrash
+        from repro.chaos.schedule import ChaosSchedule
+
+        graph = TaskGraph("multi-consumer")
+        graph.add_object(DataObject("in", size_bytes=1000,
+                                    locality="w0"))
+        graph.add_task(WorkflowTask(
+            "producer", inputs=["in"], outputs=["shared"],
+            duration_s=1.0,
+        ))
+        # big enough that consumers are still staging at crash time
+        graph.set_object_size("shared", 10**8)
+        for index in range(3):
+            graph.add_task(WorkflowTask(
+                f"consumer{index}", inputs=["shared"],
+                outputs=[f"r{index}"], duration_s=1.0,
+            ))
+        trace, stats = ResilientServer(pool(3)).run(
+            graph,
+            chaos=ChaosSchedule(seed=0, faults=[
+                WorkerCrash("w0", at_time=1.05),
+            ]),
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        assert stats.objects_lost >= 1
+        assert stats.tasks_relineaged >= 1
+        # the producer ran once before the crash and once for lineage
+        assert len([
+            r for r in trace.records if r.task == "producer"
+        ]) >= 2
+
+    def test_crash_during_final_sink_task(self):
+        """The worker running the last task of the chain dies
+        mid-flight: the sink is re-executed on the survivor."""
+        graph = chain_graph(length=2, duration=1.0)
+        trace, stats = ResilientServer(pool(2)).run(
+            graph, failures=[FailureInjection("w0", at_time=1.5)]
+        )
+        assert {r.task for r in trace.records} == set(graph.tasks)
+        sink_records = [r for r in trace.records if r.task == "t1"]
+        # the aborted attempt leaves no record; the retry ran on the
+        # survivor after the crash
+        assert len(sink_records) == 1
+        assert sink_records[0].worker == "w1"
+        assert sink_records[0].start > 1.5
+
+    def test_two_workers_crash_at_same_timestamp(self):
+        from repro.chaos.faults import WorkerCrash
+        from repro.chaos.schedule import ChaosSchedule
+
+        def run_once():
+            graph = fan_graph(width=8)
+            return ResilientServer(pool(3)).run(
+                graph,
+                chaos=ChaosSchedule(seed=0, faults=[
+                    WorkerCrash("w0", at_time=0.5),
+                    WorkerCrash("w1", at_time=0.5),
+                ]),
+            )
+
+        trace, stats = run_once()
+        assert stats.failures == 2
+        assert {r.task for r in trace.records} >= {
+            f"leaf{index}" for index in range(8)
+        }
+        assert all(
+            r.worker == "w2" for r in trace.records if r.end > 0.5
+        )
+        crash_times = [
+            f.time for f in trace.faults if f.kind == "worker-crash"
+        ]
+        assert crash_times == [0.5, 0.5]
+        # same-timestamp crashes resolve deterministically
+        replay, _stats = run_once()
+        assert replay.to_json() == trace.to_json()
+
+
 class TestMigration:
     def test_zero_cost_when_target_holds_inputs(self):
         graph = chain_graph()
