@@ -1,0 +1,89 @@
+"""Experiment ben-analysis — the static-analysis gate is cheap.
+
+The pre-DSE analyses (structural verification, static IFT, partition
+legality, lints) run on every compilation; their value proposition
+only holds if they cost a small fraction of the compile+DSE work they
+gate. This benchmark runs both over the fig1 three-kernel suite and
+asserts the analysis wall time stays under 20% of the compile+DSE
+time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.analysis import analyze_module
+from repro.core.compiler import EverestCompiler
+from repro.core.ir.verifier import verify_diagnostics
+from repro.utils.tables import Table
+
+from benchmarks.test_fig1_compilation_flow import SPACE, build_application
+
+ANALYSIS_BUDGET_FRACTION = 0.20
+
+
+def _time(callable_, repeat=3):
+    """Best-of-N wall time plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_ben_analysis_overhead(benchmark):
+    """Static analysis < 20% of compile+DSE on the fig1 suite."""
+    pipeline = build_application()
+    compiler = EverestCompiler(
+        space=SPACE, emit_artifacts=False, static_checks=False,
+    )
+    compile_seconds, app = _time(
+        lambda: compiler.compile(build_application()), repeat=1
+    )
+    module = app.module
+
+    def run_analyses():
+        diagnostics = verify_diagnostics(module)
+        return analyze_module(module, diagnostics)
+
+    analysis_seconds, diagnostics = _time(run_analyses)
+    benchmark(run_analyses)
+
+    table = Table(
+        "ben-analysis: static-analysis cost vs compile+DSE (fig1 suite)",
+        ["phase", "seconds", "fraction"],
+    )
+    table.add_row("compile + DSE", f"{compile_seconds:.4f}", "1.00")
+    table.add_row(
+        "verify + analyses",
+        f"{analysis_seconds:.4f}",
+        f"{analysis_seconds / compile_seconds:.3f}",
+    )
+    table.show()
+
+    assert not diagnostics.has_errors, diagnostics.render_text()
+    assert analysis_seconds < ANALYSIS_BUDGET_FRACTION * compile_seconds, (
+        f"analysis took {analysis_seconds:.4f}s, more than "
+        f"{ANALYSIS_BUDGET_FRACTION:.0%} of the "
+        f"{compile_seconds:.4f}s compile+DSE time"
+    )
+    assert pipeline.tasks  # the suite really has kernels
+
+
+def test_ben_analysis_scales_with_kernels(benchmark):
+    """Per-kernel analysis cost stays flat across the suite."""
+    app = EverestCompiler(
+        space=SPACE, emit_artifacts=False,
+    ).compile(build_application())
+    module = app.module
+
+    seconds, _ = _time(lambda: analyze_module(module))
+    benchmark(lambda: analyze_module(module))
+    kernels = max(1, len(list(module.functions())))
+    per_kernel = seconds / kernels
+    # sanity ceiling: milliseconds per kernel, not seconds
+    assert per_kernel < 0.25, (
+        f"{per_kernel:.4f}s per kernel is too slow for a gate"
+    )

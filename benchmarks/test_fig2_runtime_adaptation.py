@@ -79,10 +79,8 @@ def run_executor(app, adaptive):
 
     def attacked(point, state, features):
         latency, energy = original(point, state, features)
-        round_index = len(executor.protection.incidents)  # unused
         return latency, energy
 
-    report = None
     results = []
     # run phases A+B normally
     for index in range(30):

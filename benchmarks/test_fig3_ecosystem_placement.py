@@ -58,7 +58,6 @@ def test_fig3_placement_sweep(benchmark):
         ["raw MB", "strategy", "total s", "WAN MB moved",
          "filter node", "analyze node"],
     )
-    crossover_seen = False
     results = {}
     for volume_mb in VOLUMES_MB:
         graph = sensor_pipeline(volume_mb * MB)

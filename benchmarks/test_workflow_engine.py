@@ -130,7 +130,6 @@ def test_workflow_policy_comparison(benchmark):
     assert makespans[("adversarial", "b-level")] < \
         makespans[("adversarial", "fifo")]
 
-    graph = adversarial_graph()
     server = WorkflowServer(pool(), policy=make_policy("b-level"))
     benchmark(lambda: server.run(adversarial_graph()))
 

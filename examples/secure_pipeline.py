@@ -96,7 +96,7 @@ def main() -> None:
     ciphertext = aead.encrypt(payload, b"export-0001")
     assert tracker.check_egress("classify.out0", encrypted=True)
     roundtrip = aead.decrypt(ciphertext, b"export-0001")
-    print(f"\n=== encrypted export ===")
+    print("\n=== encrypted export ===")
     print(f"  payload {payload!r} -> {len(ciphertext)} bytes "
           f"(AEAD), decrypts OK: {roundtrip == payload}")
 

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro synth    KERNELS.edsl --kernel NAME [--unroll N]
     python -m repro explore  KERNELS.edsl --kernel NAME
     python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
+    python -m repro lint     SPEC [--format json|text] [--suppress CODE]
     python -m repro chaos    --graph-seed N --fault-seed M [--verify-replay]
     python -m repro info
 
@@ -182,6 +183,55 @@ def _chaos_run(args: argparse.Namespace):
     return graph, schedule, trace, stats
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over DSL files, examples and workflow specs.
+
+    Exit codes: 0 — no errors (warnings/notes allowed); 1 — at least
+    one error-severity finding; 2 — a spec could not be loaded at all.
+    """
+    from repro.core.analysis import ALL_CHECKS, Diagnostics, analyze_module
+    from repro.core.analysis.specs import load_lint_targets
+    from repro.core.analysis.wfcheck import lint_workflow_spec
+    from repro.core.ir.verifier import verify_diagnostics
+
+    unknown = set(args.only or ()) - set(ALL_CHECKS)
+    if unknown:
+        print(
+            f"repro lint: error: unknown check(s) {sorted(unknown)}; "
+            f"choose from {list(ALL_CHECKS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    diagnostics = Diagnostics()
+    targets = []
+    for path in args.paths:
+        targets.extend(load_lint_targets(path, diagnostics))
+    load_failed = any(
+        item.analysis == "loader" for item in diagnostics.errors
+    )
+    for target in targets:
+        if target.kind == "module":
+            verify_diagnostics(target.module, diagnostics)
+            analyze_module(
+                target.module, diagnostics, checks=args.only or None
+            )
+        elif target.kind == "workflow":
+            lint_workflow_spec(target.spec, diagnostics)
+    if args.suppress:
+        diagnostics = diagnostics.suppress(args.suppress)
+    if args.format == "json":
+        print(diagnostics.to_json(indent=2))
+    else:
+        targets_word = (
+            f"{len(targets)} target{'s' if len(targets) != 1 else ''}"
+        )
+        print(diagnostics.render_text(f"lint: {targets_word}"))
+    if load_failed:
+        return 2
+    return 1 if diagnostics.has_errors else 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Replay a seeded chaos scenario and report the outcome."""
     graph, schedule, trace, stats = _chaos_run(args)
@@ -271,6 +321,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_emit.add_argument("--unroll", type=int, default=4)
     p_emit.set_defaults(func=cmd_emit)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis (taint, partition legality, DAG lints) "
+             "over DSL files, examples and workflow specs",
+    )
+    p_lint.add_argument(
+        "paths", nargs="+",
+        help=".edsl / .py / .json files or directories of them",
+    )
+    p_lint.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="diagnostic rendering (default: text)",
+    )
+    p_lint.add_argument(
+        "--suppress", action="append", default=[], metavar="CODE",
+        help="drop findings with this code (repeatable)",
+    )
+    p_lint.add_argument(
+        "--only", action="append", default=[], metavar="CHECK",
+        help="restrict IR checks to taint/partition/lint (repeatable)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -1,0 +1,115 @@
+"""Compile-time static analysis for the EVEREST SDK.
+
+A unified diagnostics layer (:mod:`.diagnostics`), a generic dataflow
+fixpoint engine (:mod:`.dataflow`) and the concrete analyses built on
+them:
+
+* :mod:`.taint` — static information-flow tracking against the
+  ``secure`` dialect's policies;
+* :mod:`.partition` — memory-partition legality and static bounds
+  checking for kernel-form functions;
+* :mod:`.lints` — dead values, unreachable blocks, unused functions;
+* :mod:`.wfcheck` — workflow-DAG structural linting.
+
+:func:`analyze_module` is the one-call entry point used by the
+compiler's pre-DSE gate and the ``repro lint`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.analysis.dataflow import (
+    BackwardAnalysis,
+    DataflowAnalysis,
+    DataflowState,
+    FlagLattice,
+    ForwardAnalysis,
+    Lattice,
+    Liveness,
+    SetLattice,
+    TaintPropagation,
+)
+from repro.core.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Diagnostics,
+    Severity,
+    raise_if_errors,
+)
+from repro.core.analysis.lints import check_module_lints
+from repro.core.analysis.partition import check_module_partitioning
+from repro.core.analysis.taint import (
+    check_function_taint,
+    check_module_taint,
+    check_pipeline_taint,
+)
+from repro.core.analysis.wfcheck import (
+    TaskSpec,
+    WorkerSpec,
+    lint_task_graph,
+    lint_workflow,
+    lint_workflow_spec,
+)
+
+#: Names accepted by ``analyze_module(checks=...)`` / ``--only``.
+ALL_CHECKS = ("taint", "partition", "lint")
+
+
+def analyze_module(
+    module,
+    diagnostics: Optional[Diagnostics] = None,
+    checks: Optional[Iterable[str]] = None,
+    annotate: bool = False,
+) -> Diagnostics:
+    """Run the IR analyses over a module; returns the diagnostics.
+
+    ``checks`` restricts the run to a subset of :data:`ALL_CHECKS`;
+    ``annotate`` additionally records taint labels on the IR (see
+    :func:`~repro.core.analysis.taint.check_function_taint`).
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    selected = set(checks) if checks is not None else set(ALL_CHECKS)
+    unknown = selected - set(ALL_CHECKS)
+    if unknown:
+        raise ValueError(
+            f"unknown checks {sorted(unknown)}; "
+            f"expected a subset of {list(ALL_CHECKS)}"
+        )
+    if "taint" in selected:
+        check_module_taint(module, diagnostics, annotate=annotate)
+    if "partition" in selected:
+        check_module_partitioning(module, diagnostics)
+    if "lint" in selected:
+        check_module_lints(module, diagnostics)
+    return diagnostics
+
+
+__all__ = [
+    "ALL_CHECKS",
+    "BackwardAnalysis",
+    "CODES",
+    "DataflowAnalysis",
+    "DataflowState",
+    "Diagnostic",
+    "Diagnostics",
+    "FlagLattice",
+    "ForwardAnalysis",
+    "Lattice",
+    "Liveness",
+    "SetLattice",
+    "Severity",
+    "TaintPropagation",
+    "TaskSpec",
+    "WorkerSpec",
+    "analyze_module",
+    "check_function_taint",
+    "check_module_lints",
+    "check_module_partitioning",
+    "check_module_taint",
+    "check_pipeline_taint",
+    "lint_task_graph",
+    "lint_workflow",
+    "lint_workflow_spec",
+    "raise_if_errors",
+]

@@ -1,0 +1,350 @@
+"""Memory-partitioning legality and static bounds checking.
+
+Runs over kernel-form functions (explicit ``kernel.for`` nests with
+``kernel.load``/``kernel.store``) and checks, per buffer:
+
+* MEM001 — any access whose affine index expression can fall outside
+  the memref's shape (out-of-bounds);
+* MEM002 — an explicit ``hw.partition`` directive whose bank count
+  cannot serve the unrolled access pattern conflict-free (checked with
+  the same cyclic mapping rule the HLS memory planner uses, plus a
+  port-count bound);
+* MEM003 — a wasteful directive (more banks than elements).
+
+Index expressions are recovered symbolically: constants, loop
+induction variables and ``addi``/``subi``/``muli`` combinations form
+affine functions whose min/max over the loop ranges are exact. Non-
+affine indices are skipped (they are a dynamic-check concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analysis.diagnostics import Diagnostics
+from repro.core.ir.module import Function, Module
+from repro.core.ir.ops import Operation, Value
+from repro.core.ir.types import MemRefType
+
+
+@dataclass
+class LoopInfo:
+    """Range and directives of one kernel.for."""
+
+    op: Operation
+    lower: int
+    upper: int
+    step: int
+    depth: int
+
+    @property
+    def last(self) -> int:
+        """Largest induction value actually taken."""
+        if self.upper <= self.lower:
+            return self.lower
+        trips = (self.upper - self.lower - 1) // self.step
+        return self.lower + trips * self.step
+
+    @property
+    def unroll(self) -> int:
+        """Unroll directive (1 when absent)."""
+        return int(self.op.attr("unroll", 1) or 1)
+
+
+@dataclass
+class Affine:
+    """offset + sum(coefficient * induction_var)."""
+
+    offset: int = 0
+    terms: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for key, coefficient in other.terms.items():
+            terms[key] = terms.get(key, 0) + coefficient
+        return Affine(self.offset + other.offset, terms)
+
+    def scale(self, factor: int) -> "Affine":
+        return Affine(
+            self.offset * factor,
+            {key: coefficient * factor
+             for key, coefficient in self.terms.items()},
+        )
+
+    def bounds(self, loops: Dict[int, LoopInfo]) -> Tuple[int, int]:
+        """(min, max) over the ranges of the referenced loops."""
+        low = high = self.offset
+        for key, coefficient in self.terms.items():
+            info = loops[key]
+            values = (coefficient * info.lower, coefficient * info.last)
+            low += min(values)
+            high += max(values)
+        return low, high
+
+
+def _collect_loops(function: Function) -> Dict[int, LoopInfo]:
+    """Map id(induction var) -> LoopInfo for every kernel.for."""
+    loops: Dict[int, LoopInfo] = {}
+
+    def visit(op: Operation, depth: int) -> None:
+        if op.name == "kernel.for":
+            block = op.regions[0].blocks[0]
+            if block.arguments:
+                loops[id(block.arguments[0])] = LoopInfo(
+                    op=op,
+                    lower=int(op.attr("lower", 0)),
+                    upper=int(op.attr("upper", 0)),
+                    step=int(op.attr("step", 1)),
+                    depth=depth,
+                )
+            depth += 1
+        for region in op.regions:
+            for block in region.blocks:
+                for inner in block.operations:
+                    visit(inner, depth)
+
+    for block in function.body.blocks:
+        for op in block.operations:
+            visit(op, 0)
+    return loops
+
+
+def _affine_of(value: Value,
+               loops: Dict[int, LoopInfo]) -> Optional[Affine]:
+    """Recover an affine expression for an index value, or None."""
+    if id(value) in loops:
+        return Affine(0, {id(value): 1})
+    producer = value.producer
+    if producer is None:
+        return None
+    if producer.name == "kernel.const":
+        raw = producer.attr("value")
+        if isinstance(raw, (int, float)) and int(raw) == raw:
+            return Affine(int(raw), {})
+        return None
+    if producer.name in ("kernel.addi", "kernel.subi"):
+        lhs = _affine_of(producer.operands[0], loops)
+        rhs = _affine_of(producer.operands[1], loops)
+        if lhs is None or rhs is None:
+            return None
+        if producer.name == "kernel.subi":
+            rhs = rhs.scale(-1)
+        return lhs.add(rhs)
+    if producer.name == "kernel.muli":
+        lhs = _affine_of(producer.operands[0], loops)
+        rhs = _affine_of(producer.operands[1], loops)
+        if lhs is None or rhs is None:
+            return None
+        if not lhs.terms:
+            return rhs.scale(lhs.offset)
+        if not rhs.terms:
+            return lhs.scale(rhs.offset)
+        return None
+    return None
+
+
+@dataclass
+class Access:
+    """One load/store against a buffer, with recovered indices."""
+
+    op: Operation
+    buffer: Value
+    memref: MemRefType
+    indices: List[Optional[Affine]]
+
+    def flat(self) -> Optional[Affine]:
+        """Row-major linearized address expression."""
+        total = Affine(0, {})
+        stride = 1
+        for dimension, index in zip(
+            reversed(self.memref.shape), reversed(self.indices)
+        ):
+            if index is None:
+                return None
+            total = total.add(index.scale(stride))
+            stride *= dimension
+        return total
+
+
+def _collect_accesses(function: Function,
+                      loops: Dict[int, LoopInfo]) -> List[Access]:
+    accesses: List[Access] = []
+    for op in function.walk():
+        if op.name == "kernel.load":
+            buffer, indices = op.operands[0], op.operands[1:]
+        elif op.name == "kernel.store":
+            buffer, indices = op.operands[1], op.operands[2:]
+        else:
+            continue
+        memref = buffer.type
+        if not isinstance(memref, MemRefType):
+            continue
+        accesses.append(Access(
+            op=op,
+            buffer=buffer,
+            memref=memref,
+            indices=[_affine_of(index, loops) for index in indices],
+        ))
+    return accesses
+
+
+def _innermost_loop(access: Access,
+                    loops: Dict[int, LoopInfo]) -> Optional[LoopInfo]:
+    """Deepest loop whose induction var the access references."""
+    best: Optional[LoopInfo] = None
+    for index in access.indices:
+        if index is None:
+            continue
+        for key in index.terms:
+            info = loops[key]
+            if best is None or info.depth > best.depth:
+                best = info
+    return best
+
+
+def _check_bounds(function: Function, accesses: List[Access],
+                  loops: Dict[int, LoopInfo],
+                  diagnostics: Diagnostics) -> None:
+    for access in accesses:
+        for dimension, index in zip(access.memref.shape, access.indices):
+            if index is None:
+                continue
+            low, high = index.bounds(loops)
+            if low < 0 or high >= dimension:
+                diagnostics.error(
+                    "MEM001",
+                    f"{access.op.name} on %{access.buffer.name} indexes "
+                    f"[{low}, {high}] outside dimension of size "
+                    f"{dimension}",
+                    anchor=f"{function.name}/{access.op.name}",
+                    analysis="partition",
+                )
+
+
+def _partition_directives(
+    function: Function,
+) -> Dict[int, Tuple[Operation, str, int]]:
+    directives: Dict[int, Tuple[Operation, str, int]] = {}
+    for op in function.walk():
+        if op.name == "hw.partition" and op.operands:
+            directives[id(op.operands[0])] = (
+                op, str(op.attr("scheme")), int(op.attr("factor", 1))
+            )
+    return directives
+
+
+def _check_partitions(function: Function, accesses: List[Access],
+                      loops: Dict[int, LoopInfo],
+                      diagnostics: Diagnostics) -> None:
+    # deferred: hls.memory pulls in the CDFG machinery, which imports
+    # the IR package this analysis is reachable from (verifier)
+    from repro.core.hls.memory import (
+        PORTS_PER_BANK,
+        cyclic_conflict_free,
+    )
+
+    directives = _partition_directives(function)
+    if not directives:
+        return
+    by_buffer: Dict[int, List[Access]] = {}
+    for access in accesses:
+        by_buffer.setdefault(id(access.buffer), []).append(access)
+
+    for key, (op, scheme, factor) in directives.items():
+        buffer = op.operands[0]
+        memref = buffer.type
+        if not isinstance(memref, MemRefType):
+            continue
+        if factor > memref.num_elements:
+            diagnostics.warning(
+                "MEM003",
+                f"partition factor {factor} exceeds the "
+                f"{memref.num_elements} elements of %{buffer.name}",
+                anchor=f"{function.name}/hw.partition",
+                analysis="partition",
+            )
+        if scheme == "complete":
+            continue
+        buffer_accesses = by_buffer.get(key, [])
+        if not buffer_accesses:
+            continue
+        # group accesses by the loop they unroll under
+        by_loop: Dict[int, List[Access]] = {}
+        for access in buffer_accesses:
+            info = _innermost_loop(access, loops)
+            if info is not None and info.unroll > 1:
+                by_loop.setdefault(id(info.op), []).append(access)
+        for grouped in by_loop.values():
+            info = _innermost_loop(grouped[0], loops)
+            assert info is not None
+            unroll = info.unroll
+            ports = factor * PORTS_PER_BANK
+            demanded = len(grouped) * unroll
+            if demanded > ports:
+                diagnostics.warning(
+                    "MEM002",
+                    f"%{buffer.name}: {len(grouped)} accesses x unroll "
+                    f"{unroll} need {demanded} ports but {scheme} "
+                    f"partition factor {factor} provides {ports}",
+                    anchor=f"{function.name}/hw.partition",
+                    analysis="partition",
+                )
+                continue
+            if scheme != "cyclic":
+                continue
+            offsets: List[int] = []
+            stride: Optional[int] = None
+            affine_ok = True
+            for access in grouped:
+                flat = access.flat()
+                if flat is None:
+                    affine_ok = False
+                    break
+                ivar = id(info.op.regions[0].blocks[0].arguments[0])
+                offsets.append(flat.offset)
+                coefficient = flat.terms.get(ivar, 0) * info.step
+                if stride is None:
+                    stride = coefficient
+                elif stride != coefficient:
+                    affine_ok = False
+                    break
+            if not affine_ok or stride is None:
+                continue
+            if not cyclic_conflict_free(offsets, stride, unroll, factor):
+                diagnostics.warning(
+                    "MEM002",
+                    f"%{buffer.name}: cyclic partition factor {factor} "
+                    f"maps unrolled accesses (stride {stride}, offsets "
+                    f"{sorted(offsets)}) onto colliding banks",
+                    anchor=f"{function.name}/hw.partition",
+                    analysis="partition",
+                )
+
+
+def check_function_partitioning(
+    function: Function,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Bounds + partition-legality checks for one function."""
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    if function.is_declaration:
+        return diagnostics
+    loops = _collect_loops(function)
+    accesses = _collect_accesses(function, loops)
+    if not accesses:
+        return diagnostics
+    _check_bounds(function, accesses, loops, diagnostics)
+    _check_partitions(function, accesses, loops, diagnostics)
+    return diagnostics
+
+
+def check_module_partitioning(
+    module: Module,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Partition-legality checks for every function of a module."""
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    for function in module.functions():
+        check_function_partitioning(function, diagnostics)
+    return diagnostics

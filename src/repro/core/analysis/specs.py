@@ -1,0 +1,145 @@
+"""Loaders turning user-facing specs into lintable targets.
+
+``python -m repro lint`` accepts:
+
+* a ``.edsl`` file of kernel-DSL source — compiled to an IR module;
+* a ``.py`` file — every string constant that looks like kernel-DSL
+  source (``kernel name(...)``) is extracted via the ``ast`` module
+  and compiled, so the shipped examples lint without being executed;
+* a ``.json`` file — a workflow description for the DAG linter (see
+  :func:`repro.core.analysis.wfcheck.lint_workflow_spec`);
+* a directory — recursively expanded to all of the above.
+
+Each target is a :class:`LintTarget` carrying either an IR module or a
+workflow spec; load failures become DSL001 diagnostics instead of
+exceptions so a single bad file does not hide findings in the rest.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.analysis.diagnostics import Diagnostics
+from repro.errors import EverestError
+
+_KERNEL_RE = re.compile(r"\bkernel\s+\w+\s*\(")
+
+_EXTENSIONS = (".edsl", ".py", ".json")
+
+
+@dataclass
+class LintTarget:
+    """One lintable unit: an IR module or a workflow spec."""
+
+    name: str
+    kind: str  # "module" | "workflow"
+    module: Optional[object] = None
+    spec: Optional[Dict] = None
+
+
+def extract_kernel_sources(python_source: str) -> List[str]:
+    """Kernel-DSL string constants embedded in python source."""
+    sources: List[str] = []
+    try:
+        tree = python_ast.parse(python_source)
+    except SyntaxError:
+        return sources
+    for node in python_ast.walk(tree):
+        if (
+            isinstance(node, python_ast.Constant)
+            and isinstance(node.value, str)
+            and _KERNEL_RE.search(node.value)
+        ):
+            sources.append(node.value)
+    return sources
+
+
+def _load_module_target(
+    name: str, source: str, diagnostics: Diagnostics
+) -> Optional[LintTarget]:
+    from repro.core.dsl.kernel_dsl import compile_kernel
+
+    try:
+        module = compile_kernel(source)
+    except EverestError as exc:
+        diagnostics.error(
+            "DSL001",
+            f"cannot compile kernel source: {exc}",
+            anchor=name,
+            analysis="loader",
+        )
+        return None
+    return LintTarget(name=name, kind="module", module=module)
+
+
+def load_lint_targets(
+    path: str, diagnostics: Optional[Diagnostics] = None
+) -> List[LintTarget]:
+    """Expand a path into lint targets, recording load failures.
+
+    Returns the targets; load problems are emitted as DSL001 on the
+    passed (or a fresh) diagnostics collection accessible through each
+    call site.
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    targets: List[LintTarget] = []
+    if os.path.isdir(path):
+        for root, _dirs, files in os.walk(path):
+            for filename in sorted(files):
+                if filename.endswith(_EXTENSIONS):
+                    targets.extend(
+                        load_lint_targets(
+                            os.path.join(root, filename), diagnostics
+                        )
+                    )
+        return targets
+
+    if not os.path.exists(path):
+        diagnostics.error(
+            "DSL001", "no such file or directory",
+            anchor=path, analysis="loader",
+        )
+        return targets
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+
+    if path.endswith(".edsl"):
+        target = _load_module_target(path, text, diagnostics)
+        if target:
+            targets.append(target)
+    elif path.endswith(".py"):
+        for index, source in enumerate(extract_kernel_sources(text)):
+            target = _load_module_target(
+                f"{path}#{index}", source, diagnostics
+            )
+            if target:
+                targets.append(target)
+    elif path.endswith(".json"):
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            diagnostics.error(
+                "DSL001", f"invalid JSON: {exc}",
+                anchor=path, analysis="loader",
+            )
+            return targets
+        if not isinstance(spec, dict):
+            diagnostics.error(
+                "DSL001", "workflow spec must be a JSON object",
+                anchor=path, analysis="loader",
+            )
+            return targets
+        targets.append(LintTarget(name=path, kind="workflow", spec=spec))
+    else:
+        diagnostics.error(
+            "DSL001",
+            f"unsupported spec type (expected one of {_EXTENSIONS})",
+            anchor=path, analysis="loader",
+        )
+    return targets

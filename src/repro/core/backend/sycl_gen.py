@@ -126,7 +126,7 @@ class _SyclEmitter:
             return
         body = op.regions[0].blocks[0]
         iv = self._name(body.arguments[0])
-        self._emit(f"q.submit([&](sycl::handler &h) {{")
+        self._emit("q.submit([&](sycl::handler &h) {")
         self.indent += 1
         self._emit(
             f"h.parallel_for(sycl::range<1>({upper}), "

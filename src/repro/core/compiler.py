@@ -18,6 +18,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.core.analysis import analyze_module
+from repro.core.analysis.diagnostics import Diagnostics, raise_if_errors
 from repro.core.backend.binary import Artifact, SoftwareBinary
 from repro.core.backend.packaging import VariantPackage
 from repro.core.backend.sycl_gen import generate_sycl
@@ -33,7 +35,7 @@ from repro.core.hls.bambu import HLSOptions, synthesize
 from repro.core.hls.scheduling import ResourceBudget
 from repro.core.ir.module import Module
 from repro.core.ir.passes.partitioning import HardwarePartitioningPass
-from repro.errors import BackendError
+from repro.errors import AnalysisError, BackendError
 
 
 @dataclass
@@ -46,6 +48,9 @@ class CompiledApplication:
     exploration: Dict[str, ExplorationResult] = field(default_factory=dict)
     package: VariantPackage = None  # type: ignore[assignment]
     sensitive_kernels: Set[str] = field(default_factory=set)
+    #: Findings of the pre-DSE static-analysis gate (never errors —
+    #: those abort compilation with an AnalysisError).
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
 
     def kernel_names(self) -> List[str]:
         """Kernels reachable from the pipeline, in task order."""
@@ -74,12 +79,14 @@ class EverestCompiler:
         strategy: str = "exhaustive",
         signing_key: str = "everest-demo-key",
         emit_artifacts: bool = True,
+        static_checks: bool = True,
     ):
         self.space = space or DesignSpace.small()
         self.model = model or ArchitectureModel()
         self.strategy = strategy
         self.signing_key = signing_key
         self.emit_artifacts = emit_artifacts
+        self.static_checks = static_checks
 
     # ------------------------------------------------------------------
 
@@ -89,6 +96,14 @@ class EverestCompiler:
         sensitive_kernels = self._propagate_sensitivity(module)
         HardwarePartitioningPass().run(module)
 
+        diagnostics = Diagnostics()
+        if self.static_checks:
+            # Pre-DSE gate: exploring or synthesizing a module that
+            # statically violates a secure.* policy or banks memory
+            # illegally would only waste the DSE budget.
+            analyze_module(module, diagnostics)
+            raise_if_errors(diagnostics, AnalysisError)
+
         app = CompiledApplication(
             name=pipeline.name,
             module=module,
@@ -97,6 +112,7 @@ class EverestCompiler:
                 application=pipeline.name, signing_key=self.signing_key
             ),
             sensitive_kernels=sensitive_kernels,
+            diagnostics=diagnostics,
         )
 
         for task in pipeline.tasks:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.analysis.diagnostics import Diagnostics
 from repro.core.dsl import ast_nodes as ast
 from repro.core.ir.types import ScalarType, TensorType, Type
 from repro.errors import TypeCheckError
@@ -25,8 +26,13 @@ _REDUCE_BUILTINS = {"sum": "sum", "mean": "mean",
                     "rmax": "max", "rmin": "min"}
 
 
-def _fail(node: ast.Node, message: str) -> TypeCheckError:
-    return TypeCheckError(f"line {node.line}: {message}")
+def _fail(node: ast.Node, message: str,
+          code: str = "TY001") -> TypeCheckError:
+    """TypeCheckError carrying its diagnostic code and source line."""
+    error = TypeCheckError(f"line {node.line}: {message}")
+    error.code = code
+    error.line = node.line
+    return error
 
 
 class TypeChecker:
@@ -40,9 +46,15 @@ class TypeChecker:
         """Run the checker; raises :class:`TypeCheckError` on error."""
         for param in self.kernel.params:
             if param.name in self.symbols:
-                raise _fail(param, f"duplicate parameter {param.name!r}")
+                raise _fail(
+                    param, f"duplicate parameter {param.name!r}",
+                    code="TY002",
+                )
             if param.declared_type is None:
-                raise _fail(param, f"parameter {param.name!r} lacks a type")
+                raise _fail(
+                    param, f"parameter {param.name!r} lacks a type",
+                    code="TY002",
+                )
             self.symbols[param.name] = param.declared_type
 
         returned = False
@@ -55,6 +67,7 @@ class TypeChecker:
                         statement,
                         f"redefinition of {statement.name!r} "
                         f"(the DSL is single-assignment)",
+                        code="TY002",
                     )
                 value_type = self._check_expr(statement.value)
                 self.symbols[statement.name] = value_type
@@ -260,9 +273,49 @@ def check_program(program: ast.Program) -> List[TypeChecker]:
     checkers = []
     for kernel in program.kernels:
         if kernel.name in seen:
-            raise TypeCheckError(f"duplicate kernel name {kernel.name!r}")
+            error = TypeCheckError(
+                f"duplicate kernel name {kernel.name!r}"
+            )
+            error.code = "TY002"
+            raise error
         seen.add(kernel.name)
         checker = TypeChecker(kernel)
         checker.check()
         checkers.append(checker)
     return checkers
+
+
+def check_program_diagnostics(
+    program: ast.Program,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Collect type errors from *every* kernel instead of raising.
+
+    Each kernel is checked independently so one broken kernel does not
+    hide findings in the others; the per-error code (TY001/TY002)
+    attached by :func:`_fail` becomes the diagnostic code.
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    seen = set()
+    for kernel in program.kernels:
+        if kernel.name in seen:
+            diagnostics.error(
+                "TY002",
+                f"duplicate kernel name {kernel.name!r}",
+                anchor=kernel.name,
+                analysis="typecheck",
+            )
+            continue
+        seen.add(kernel.name)
+        try:
+            TypeChecker(kernel).check()
+        except TypeCheckError as exc:
+            line = getattr(exc, "line", 0)
+            diagnostics.error(
+                getattr(exc, "code", "TY001"),
+                str(exc),
+                anchor=kernel.name,
+                analysis="typecheck",
+                loc=("<dsl>", line) if line else None,
+            )
+    return diagnostics

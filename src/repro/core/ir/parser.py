@@ -212,7 +212,7 @@ class IRParser:
             self.values[name] = value
 
         if self._accept("punct", "{"):
-            region = self._parse_region_into(op)
+            self._parse_region_into(op)
         return op
 
     def _region_follows(self) -> bool:

@@ -1,4 +1,4 @@
-"""Pass driver: ordered pipelines with optional post-pass verification."""
+"""Pass driver: ordered pipelines with optional post-pass checking."""
 
 from __future__ import annotations
 
@@ -6,8 +6,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.core.analysis.diagnostics import Diagnostics
 from repro.core.ir.module import Module
-from repro.core.ir.verifier import verify
+from repro.core.ir.verifier import verify_diagnostics
 from repro.errors import PassError
 
 
@@ -40,13 +41,22 @@ class PassStatistics:
 class PassManager:
     """Runs a pipeline of passes in order.
 
-    With ``verify_each`` set (the default), the module is re-verified
-    after every pass so a broken rewrite is caught at its source.
+    With ``verify_each`` set (the default), the module is structurally
+    re-verified after every pass so a broken rewrite is caught at its
+    source; the raised :class:`~repro.errors.PassError` names the
+    offending pass and carries the full diagnostics under its
+    ``diagnostics`` attribute (code PM001). With ``lint_each`` set the
+    semantic analyses (taint, partitioning, lints) also run after every
+    pass and *errors* they find abort the pipeline the same way
+    (PM002); their warnings accumulate in :attr:`diagnostics`.
     """
 
     verify_each: bool = True
+    lint_each: bool = False
     passes: List[Pass] = field(default_factory=list)
     statistics: List[PassStatistics] = field(default_factory=list)
+    #: Findings accumulated across the run (post-pass checks).
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
 
     def add(self, pass_: Pass) -> "PassManager":
         """Append a pass; returns self for chaining."""
@@ -70,13 +80,37 @@ class PassManager:
             )
             any_changed = any_changed or bool(changed)
             if self.verify_each:
-                try:
-                    verify(module)
-                except Exception as exc:
-                    raise PassError(
-                        f"module invalid after pass {pass_.name}: {exc}"
-                    ) from exc
+                self._check_after(pass_, module, lint=False)
+            if self.lint_each:
+                self._check_after(pass_, module, lint=True)
         return any_changed
+
+    def _check_after(self, pass_: Pass, module: Module,
+                     lint: bool) -> None:
+        """Post-pass check; raises PassError naming the pass."""
+        if lint:
+            from repro.core.analysis import analyze_module
+
+            found = analyze_module(module)
+            code, what = "PM002", "analysis errors"
+        else:
+            found = verify_diagnostics(module)
+            code, what = "PM001", "invalid IR"
+        self.diagnostics.extend(found)
+        if not found.has_errors:
+            return
+        first = found.first_error_message()
+        self.diagnostics.error(
+            code,
+            f"module invalid after pass {pass_.name}: {what}: {first}",
+            anchor=pass_.name,
+            analysis="pass-manager",
+        )
+        error = PassError(
+            f"module invalid after pass {pass_.name}: {first}"
+        )
+        error.diagnostics = self.diagnostics
+        raise error
 
     def summary(self) -> Dict[str, float]:
         """Total seconds spent per pass name."""

@@ -41,7 +41,7 @@ def execute_pipeline(
             break
     if pipeline_op is None:
         raise WorkflowError(
-            f"module has no workflow.pipeline"
+            "module has no workflow.pipeline"
             + (f" named {pipeline_name!r}" if pipeline_name else "")
         )
 

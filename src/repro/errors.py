@@ -42,6 +42,15 @@ class PassError(EverestError):
     """A compiler pass could not be applied."""
 
 
+class AnalysisError(EverestError):
+    """Static analysis reported blocking diagnostics.
+
+    When raised by the analysis driver the ``diagnostics`` attribute
+    holds the full :class:`~repro.core.analysis.diagnostics.Diagnostics`
+    collection that triggered it.
+    """
+
+
 class HLSError(EverestError):
     """High-level synthesis failed."""
 

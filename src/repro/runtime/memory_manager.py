@@ -137,7 +137,6 @@ class MemoryManager:
         }
         ordered = sorted(requests, key=lambda r: -r.intensity)
         for request in ordered:
-            placed = False
             best: Optional[Tuple[float, MemoryModel]] = None
             for memory in self.memories:
                 if free[memory.name] < request.size_bytes:
@@ -159,7 +158,6 @@ class MemoryManager:
             plan.access_seconds += access_s
             plan.staging_seconds += self._staging_cost(memory, request)
             plan.energy_j += energy
-            placed = True
         return plan
 
     def place_all_in(self, requests: Sequence[BufferRequest],

@@ -1,0 +1,34 @@
+"""Builders shared by the static-analysis tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import pytest
+
+from repro.core.ir.builder import Builder
+from repro.core.ir.module import Function, Module
+from repro.core.ir.types import FunctionType, Type
+
+
+def new_function(
+    module: Module,
+    name: str,
+    inputs: Sequence[Type] = (),
+    results: Sequence[Type] = (),
+    attributes: Optional[dict] = None,
+) -> Tuple[Function, Builder]:
+    """A fresh function with a builder parked on its entry block."""
+    function = module.add_function(
+        name,
+        FunctionType(tuple(inputs), tuple(results)),
+        attributes=dict(attributes or {}),
+    )
+    builder = Builder()
+    builder.set_insertion_point(function.entry_block)
+    return function, builder
+
+
+@pytest.fixture
+def module() -> Module:
+    return Module("test")

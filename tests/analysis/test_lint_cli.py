@@ -1,0 +1,105 @@
+"""`python -m repro lint` behavior: exit codes, formats, suppression."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+EXAMPLES = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+CLEAN_KERNEL = """
+kernel smooth(X: tensor<16xf32>) -> tensor<16xf32> {
+  Y = relu(X)
+  return Y
+}
+"""
+
+
+def run_lint(*argv):
+    return main(["lint", *argv])
+
+
+class TestExitCodes:
+    def test_shipped_examples_are_clean(self, capsys):
+        assert run_lint(EXAMPLES) == 0
+        out = capsys.readouterr().out
+        assert "lint:" in out
+
+    def test_clean_edsl_exits_zero(self, tmp_path, capsys):
+        spec = tmp_path / "k.edsl"
+        spec.write_text(CLEAN_KERNEL)
+        assert run_lint(str(spec)) == 0
+
+    @pytest.mark.parametrize(
+        "fixture,code",
+        [
+            ("cycle.json", "WF001"),
+            ("unproducible.json", "WF002"),
+            ("overcapacity.json", "WF003"),
+            ("dup_output.json", "WF004"),
+        ],
+    )
+    def test_defect_fixture_exits_one_with_json(
+        self, capsys, fixture, code
+    ):
+        path = os.path.join(FIXTURES, fixture)
+        assert run_lint(path, "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = {item["code"] for item in payload["diagnostics"]}
+        assert code in codes
+        assert payload["counts"]["error"] >= 1
+
+    def test_unloadable_spec_exits_two(self, capsys):
+        path = os.path.join(FIXTURES, "bad_kernel.edsl")
+        assert run_lint(path, "--format", "json") == 2
+        payload = json.loads(capsys.readouterr().out)
+        codes = {item["code"] for item in payload["diagnostics"]}
+        assert codes == {"DSL001"}
+
+    def test_missing_path_exits_two(self, capsys):
+        assert run_lint("/no/such/spec.edsl") == 2
+
+
+class TestOptions:
+    def test_suppress_turns_error_into_clean_exit(self, capsys):
+        path = os.path.join(FIXTURES, "overcapacity.json")
+        assert run_lint(path) == 1
+        capsys.readouterr()
+        assert run_lint(path, "--suppress", "WF003") == 0
+
+    def test_text_format_mentions_code_and_anchor(self, capsys):
+        path = os.path.join(FIXTURES, "cycle.json")
+        run_lint(path)
+        out = capsys.readouterr().out
+        assert "error[WF001]" in out
+        assert "cycle" in out
+
+    def test_json_is_machine_readable(self, tmp_path, capsys):
+        spec = tmp_path / "k.edsl"
+        spec.write_text(CLEAN_KERNEL)
+        assert run_lint(str(spec), "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {
+            "error": 0, "warning": 0, "note": 0
+        }
+
+    def test_only_restricts_checks(self, tmp_path, capsys):
+        # sensitive arg normally yields a SEC005 warning; --only
+        # partition must not run the taint analysis
+        spec = tmp_path / "k.edsl"
+        spec.write_text("""
+kernel score(X: tensor<4xf32> @sensitive) -> tensor<4xf32> {
+  Y = relu(X)
+  return Y
+}
+""")
+        assert run_lint(
+            str(spec), "--format", "json", "--only", "partition"
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["warning"] == 0

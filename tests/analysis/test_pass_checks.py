@@ -1,0 +1,147 @@
+"""PassManager post-pass verification and linting tests."""
+
+import pytest
+
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.core.ir.passes import Pass, PassManager
+from repro.core.ir.types import F32
+from repro.errors import AnalysisError, PassError
+
+from tests.analysis.conftest import new_function
+
+SRC = """
+kernel f(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = relu(X)
+  return Y
+}
+"""
+
+
+class NoOpPass(Pass):
+    def run(self, module):
+        return False
+
+
+class DropTerminatorPass(Pass):
+    """Deliberately broken: removes the function's terminator."""
+
+    def run(self, module):
+        function = next(iter(module.functions()))
+        function.entry_block.operations.pop()
+        return True
+
+
+class TestVerifyEach:
+    def test_broken_pass_caught_and_named(self):
+        module = compile_kernel(SRC)
+        manager = PassManager(verify_each=True)
+        manager.add(DropTerminatorPass())
+        with pytest.raises(
+            PassError, match="after pass DropTerminatorPass"
+        ):
+            manager.run(module)
+
+    def test_pass_error_carries_diagnostics(self):
+        module = compile_kernel(SRC)
+        manager = PassManager(verify_each=True)
+        manager.add(DropTerminatorPass())
+        try:
+            manager.run(module)
+        except PassError as exc:
+            codes = {item.code for item in exc.diagnostics}
+            assert "IR005" in codes  # missing func.return
+            assert "PM001" in codes  # the pass-manager wrapper
+        else:
+            pytest.fail("expected PassError")
+
+    def test_healthy_pipeline_unaffected(self):
+        module = compile_kernel(SRC)
+        manager = PassManager(verify_each=True)
+        manager.add(NoOpPass())
+        manager.run(module)
+        assert not manager.diagnostics.has_errors
+
+    def test_verify_each_off_lets_breakage_through(self):
+        module = compile_kernel(SRC)
+        manager = PassManager(verify_each=False)
+        manager.add(DropTerminatorPass())
+        manager.run(module)  # no exception: nothing checked
+
+
+class TestLintEach:
+    def _leaky_module(self):
+        from repro.core.ir.module import Module
+
+        module = Module("m")
+        function, b = new_function(module, "leak", [F32], [F32])
+        (x,) = function.arguments
+        tainted = b.create(
+            "secure.taint", [x], [F32], {"label": "pii"}
+        ).result
+        b.ret([tainted])
+        return module
+
+    def test_lint_each_catches_policy_violation(self):
+        manager = PassManager(verify_each=True, lint_each=True)
+        manager.add(NoOpPass())
+        with pytest.raises(PassError, match="SEC001"):
+            manager.run(self._leaky_module())
+        pm_codes = {item.code for item in manager.diagnostics}
+        assert "PM002" in pm_codes
+
+    def test_lint_each_accumulates_warnings(self):
+        module = compile_kernel(SRC)
+        manager = PassManager(verify_each=True, lint_each=True)
+        manager.add(NoOpPass()).add(NoOpPass())
+        manager.run(module)
+        assert not manager.diagnostics.has_errors
+
+
+class TestCompilerGate:
+    def _pipeline(self):
+        from repro.core.dsl.workflow import Pipeline
+        from repro.core.ir.types import TensorType
+
+        pipeline = Pipeline("app")
+        source = pipeline.source("raw", TensorType((8,), F32))
+        task = pipeline.task("t", SRC, inputs=[source], kernel="f")
+        pipeline.sink("out", task.output(0))
+        return pipeline
+
+    def test_compile_populates_diagnostics(self):
+        from repro.core.compiler import EverestCompiler
+
+        compiler = EverestCompiler(emit_artifacts=False)
+        app = compiler.compile(self._pipeline())
+        assert not app.diagnostics.has_errors
+
+    def test_gate_blocks_statically_invalid_module(self, monkeypatch):
+        from repro.core import compiler as compiler_module
+        from repro.core.compiler import EverestCompiler
+
+        def poisoned(module, diagnostics, **_kwargs):
+            diagnostics.error("SEC001", "injected violation")
+            return diagnostics
+
+        monkeypatch.setattr(
+            compiler_module, "analyze_module", poisoned
+        )
+        compiler = EverestCompiler(emit_artifacts=False)
+        with pytest.raises(AnalysisError, match="SEC001"):
+            compiler.compile(self._pipeline())
+
+    def test_gate_can_be_disabled(self, monkeypatch):
+        from repro.core import compiler as compiler_module
+        from repro.core.compiler import EverestCompiler
+
+        def exploding(*_args, **_kwargs):
+            raise AssertionError("gate ran despite static_checks=False")
+
+        monkeypatch.setattr(
+            compiler_module, "analyze_module", exploding
+        )
+        compiler = EverestCompiler(
+            emit_artifacts=False, static_checks=False
+        )
+        app = compiler.compile(self._pipeline())
+        assert app.package is not None

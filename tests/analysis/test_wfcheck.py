@@ -1,0 +1,125 @@
+"""Workflow-DAG linter tests: the four defect classes + adapters."""
+
+import json
+import os
+
+from repro.core.analysis.wfcheck import (
+    TaskSpec,
+    WorkerSpec,
+    lint_task_graph,
+    lint_workflow,
+    lint_workflow_spec,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _load(name):
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _codes(diagnostics):
+    return [item.code for item in diagnostics.sorted()]
+
+
+class TestDefectClasses:
+    def test_clean_graph(self):
+        diagnostics = lint_workflow_spec(_load("clean.json"))
+        assert not diagnostics.items
+
+    def test_cycle_wf001(self):
+        diagnostics = lint_workflow_spec(_load("cycle.json"))
+        assert "WF001" in _codes(diagnostics)
+        finding = next(
+            item for item in diagnostics if item.code == "WF001"
+        )
+        # the message spells out the cycle path
+        assert "->" in finding.message
+
+    def test_unproducible_wf002_and_starvation_wf006(self):
+        diagnostics = lint_workflow_spec(_load("unproducible.json"))
+        codes = _codes(diagnostics)
+        assert "WF002" in codes
+        assert "WF006" in codes  # report depends on the missing input
+        wf002 = next(
+            item for item in diagnostics if item.code == "WF002"
+        )
+        assert "phantom" in wf002.message
+
+    def test_overcapacity_wf003(self):
+        diagnostics = lint_workflow_spec(_load("overcapacity.json"))
+        assert "WF003" in _codes(diagnostics)
+        finding = next(
+            item for item in diagnostics if item.code == "WF003"
+        )
+        assert "64" in finding.message and "8" in finding.message
+
+    def test_duplicate_output_wf004(self):
+        diagnostics = lint_workflow_spec(_load("dup_output.json"))
+        assert "WF004" in _codes(diagnostics)
+
+    def test_duplicate_task_wf005(self):
+        diagnostics = lint_workflow(
+            [
+                TaskSpec("t", outputs=["a"]),
+                TaskSpec("t", outputs=["b"]),
+            ]
+        )
+        assert "WF005" in _codes(diagnostics)
+
+    def test_external_also_produced_wf004(self):
+        diagnostics = lint_workflow(
+            [TaskSpec("t", outputs=["raw"])], externals=["raw"]
+        )
+        assert "WF004" in _codes(diagnostics)
+
+    def test_self_cycle(self):
+        diagnostics = lint_workflow(
+            [TaskSpec("t", inputs=["a"], outputs=["a"])]
+        )
+        assert "WF001" in _codes(diagnostics)
+
+
+class TestAdapters:
+    def test_task_graph_adapter_clean(self):
+        from repro.workflow.graph import (
+            DataObject,
+            TaskGraph,
+            WorkflowTask,
+        )
+
+        graph = TaskGraph("g")
+        graph.add_object(DataObject("raw", size_bytes=64))
+        graph.add_task(WorkflowTask(
+            "a", inputs=["raw"], outputs=["mid"], cpus=1,
+        ))
+        graph.add_task(WorkflowTask(
+            "b", inputs=["mid"], outputs=["out"], cpus=2,
+        ))
+        diagnostics = lint_task_graph(graph)
+        assert not diagnostics.items
+
+    def test_task_graph_adapter_capacity(self):
+        from repro.workflow.graph import (
+            DataObject,
+            TaskGraph,
+            WorkflowTask,
+        )
+        from repro.workflow.worker import Worker
+
+        graph = TaskGraph("g")
+        graph.add_object(DataObject("raw", size_bytes=64))
+        graph.add_task(WorkflowTask(
+            "a", inputs=["raw"], outputs=["out"], cpus=8,
+        ))
+        workers = [Worker("w0", node_name="n0", cpus=2)]
+        diagnostics = lint_task_graph(graph, workers=workers)
+        assert "WF003" in _codes(diagnostics)
+
+    def test_worker_spec_capacity_boundary(self):
+        tasks = [TaskSpec("t", outputs=["a"], cpus=4)]
+        exact = lint_workflow(tasks, workers=[WorkerSpec("w", cpus=4)])
+        assert "WF003" not in _codes(exact)
+        tight = lint_workflow(tasks, workers=[WorkerSpec("w", cpus=3)])
+        assert "WF003" in _codes(tight)
