@@ -1,0 +1,98 @@
+"""Experiment ben-observability — tracing is cheap enough to leave on.
+
+The observability layer (``repro.obs``) instruments the compiler, the
+DSE loop, the orchestrator and the workflow servers. Its value
+proposition only holds if an instrumented run costs almost the same as
+an uninstrumented one: this benchmark compiles the full fig1
+three-kernel suite with tracing off and with a live observation
+session installed, interleaving the two modes, and asserts the best
+traced CPU time stays within 5% of the best baseline. A second test
+reports what the trace of one end-to-end compile actually contains,
+per category.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.compiler import EverestCompiler
+from repro.obs import observe, session
+from repro.utils.tables import Table
+
+from benchmarks.test_fig1_compilation_flow import SPACE, build_application
+
+OVERHEAD_BUDGET = 0.05  # traced <= (1 + budget) * baseline
+ROUNDS = 5
+
+
+def _compile_once():
+    EverestCompiler(
+        space=SPACE, emit_artifacts=False,
+    ).compile(build_application())
+
+
+def _compile_traced():
+    with observe(session()):
+        _compile_once()
+
+
+def test_ben_observability_overhead(benchmark):
+    """Default tracing on the fig1 compile costs < 5% wall time."""
+    _compile_once()  # warm parser/IR caches for both modes
+    # CPU time, not wall time: the claim is about work the tracer
+    # adds, and process_time is blind to co-tenant scheduler noise.
+    # Interleave the modes, keep the best of each; mins only fall, so
+    # extra batches (taken while the check still fails) converge both
+    # numbers to the true cost.
+    baseline = traced = float("inf")
+    for _ in range(4):
+        for _ in range(ROUNDS):
+            start = time.process_time()
+            _compile_once()
+            baseline = min(baseline, time.process_time() - start)
+            start = time.process_time()
+            _compile_traced()
+            traced = min(traced, time.process_time() - start)
+        if traced <= (1.0 + OVERHEAD_BUDGET) * baseline:
+            break
+    benchmark(_compile_traced)
+
+    overhead = traced / baseline - 1.0
+    table = Table(
+        "ben-observability: tracing overhead on the fig1 compile "
+        f"(CPU time, interleaved best of >= {ROUNDS})",
+        ["mode", "seconds", "vs baseline"],
+    )
+    table.add_row("tracing off", f"{baseline:.4f}", "1.000")
+    table.add_row("tracing on", f"{traced:.4f}", f"{traced / baseline:.3f}")
+    table.show()
+
+    assert traced <= (1.0 + OVERHEAD_BUDGET) * baseline, (
+        f"traced compile took {traced:.4f}s, {overhead:.1%} over the "
+        f"{baseline:.4f}s baseline (budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_ben_observability_trace_content(benchmark):
+    """One traced compile covers every compiler-side category."""
+    obs = session()
+    with observe(obs):
+        _compile_once()
+    benchmark(obs.tracer.to_chrome)
+
+    table = Table(
+        "ben-observability: events per category (fig1 compile)",
+        ["category", "events", "total span seconds"],
+    )
+    categories = sorted({e.category for e in obs.tracer.events})
+    for category in categories:
+        events = [
+            e for e in obs.tracer.events if e.category == category
+        ]
+        span_seconds = sum(e.dur or 0.0 for e in events)
+        table.add_row(category, len(events), f"{span_seconds:.4f}")
+    table.show()
+
+    assert "compiler.phase" in categories
+    assert "compiler.pass" in categories
+    assert "dse.explore" in categories

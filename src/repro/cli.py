@@ -8,12 +8,16 @@ Subcommands::
     python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
     python -m repro lint     SPEC [--format json|text] [--suppress CODE]
     python -m repro chaos    --graph-seed N --fault-seed M [--verify-replay]
+    python -m repro run      SPEC [--trace PATH]
+    python -m repro trace    SPEC --out trace.json [--clock logical|wall]
+    python -m repro metrics  SPEC [--format text|json]
     python -m repro info
 
 ``KERNELS.edsl`` is a file of kernel-DSL source (see
-:mod:`repro.core.dsl.kernel_dsl`). The CLI is a thin veneer over the
-library API, intended for quick experiments and the examples in the
-README.
+:mod:`repro.core.dsl.kernel_dsl`); a ``.py`` file embedding kernel-DSL
+strings works everywhere a spec is accepted. The CLI is a thin veneer
+over the library API, intended for quick experiments and the examples
+in the README. The full flag reference is ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -34,8 +38,15 @@ from repro.utils.tables import Table
 
 
 def _read_source(path: str) -> str:
-    with open(path, "r", encoding="utf-8") as handle:
-        return handle.read()
+    """Kernel-DSL text of ``path``.
+
+    ``.edsl`` files are taken verbatim; for Python files the embedded
+    kernel-DSL strings are extracted, so the same example specs work
+    for every subcommand.
+    """
+    from repro.obs.driver import load_kernel_sources
+
+    return "\n".join(load_kernel_sources(path))
 
 
 def _space_by_name(name: str) -> DesignSpace:
@@ -47,6 +58,7 @@ def _space_by_name(name: str) -> DesignSpace:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    """Explore every kernel in the spec; print a variant table."""
     source = _read_source(args.file)
     module = compile_kernel(source)
     space = _space_by_name(args.space)
@@ -73,6 +85,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
+    """Print the HLS report for one kernel."""
     from repro.core.hls.bambu import HLSOptions, synthesize
     from repro.core.hls.scheduling import ResourceBudget
 
@@ -97,6 +110,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    """Print the design-space table for one kernel."""
     source = _read_source(args.file)
     module = compile_kernel(source)
     space = _space_by_name(args.space)
@@ -121,6 +135,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
+    """Print IR / lowered IR / SYCL / RTL for one kernel."""
     source = _read_source(args.file)
     module = compile_kernel(source)
     if args.what == "ir":
@@ -234,7 +249,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Replay a seeded chaos scenario and report the outcome."""
-    graph, schedule, trace, stats = _chaos_run(args)
+    from repro.obs import observe, session
+
+    if args.trace:
+        obs = session(deterministic=True)
+        with observe(obs):
+            graph, schedule, trace, stats = _chaos_run(args)
+        obs.tracer.write(args.trace)
+    else:
+        graph, schedule, trace, stats = _chaos_run(args)
     if args.json:
         print(trace.to_json())
         return 0
@@ -261,10 +284,78 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                   "different trace")
             return 1
         print(f"replay verified: identical trace ({trace.digest()})")
+    if args.trace:
+        print(f"chrome trace written to {args.trace}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Compile a spec and deploy it on the reference ecosystem."""
+    from repro.obs.driver import run_traced
+
+    run = run_traced(
+        args.file, clock=args.clock, strategy=args.strategy,
+    )
+    report = run.report
+    table = Table(
+        f"deployment of {args.file}",
+        ["task", "placed on", "variant"],
+    )
+    for task_name in sorted(report.placement):
+        table.add_row(
+            task_name,
+            report.placement[task_name],
+            report.selections.get(task_name, "-"),
+        )
+    table.show()
+    print(f"makespan: {report.makespan * 1e3:.4f} ms  "
+          f"energy: {report.energy.total_joules:.4f} J  "
+          f"trace digest: {report.trace.digest()}")
+    if args.trace:
+        run.observation.tracer.write(args.trace)
+        print(f"chrome trace written to {args.trace}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a spec end to end and export the Chrome trace."""
+    from repro.obs import validate_chrome_trace
+    from repro.obs.driver import run_traced
+
+    run = run_traced(
+        args.file, clock=args.clock, strategy=args.strategy,
+    )
+    tracer = run.observation.tracer
+    problems = validate_chrome_trace(tracer.to_chrome())
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    tracer.write(args.out)
+    spans = sum(1 for e in tracer.events if e.phase == "X")
+    instants = sum(1 for e in tracer.events if e.phase == "i")
+    counters = sum(1 for e in tracer.events if e.phase == "C")
+    print(f"{args.out}: {spans} spans, {instants} instants, "
+          f"{counters} counter samples ({args.clock} clock)")
+    print("open it in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a spec end to end and print the metrics snapshot."""
+    from repro.obs.driver import run_traced
+
+    run = run_traced(args.file, strategy=args.strategy)
+    metrics = run.observation.metrics
+    if args.format == "json":
+        print(metrics.to_json(indent=2))
+    else:
+        print(metrics.render_text(f"metrics: {args.file}"))
     return 0
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
+    """Print the SDK inventory (dialects, default target)."""
     from repro.core.ir.dialects import registered_dialects
 
     print("EVEREST SDK reproduction")
@@ -280,6 +371,7 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -369,7 +461,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scenario twice and fail unless the traces are "
              "byte-identical",
     )
+    p_chaos.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also export the run's Chrome trace JSON to PATH",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_run = sub.add_parser(
+        "run",
+        help="compile a spec and deploy it on the reference ecosystem",
+    )
+    p_run.add_argument("file", help=".edsl or .py kernel spec")
+    p_run.add_argument("--strategy", default="exhaustive")
+    p_run.add_argument(
+        "--clock", default="logical", choices=("logical", "wall"),
+        help="trace clock when --trace is given (default: logical)",
+    )
+    p_run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also export the run's Chrome trace JSON to PATH",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a spec end to end and export a Chrome trace for "
+             "Perfetto / chrome://tracing",
+    )
+    p_trace.add_argument("file", help=".edsl or .py kernel spec")
+    p_trace.add_argument(
+        "--out", default="trace.json",
+        help="output path (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--clock", default="logical", choices=("logical", "wall"),
+        help="logical = deterministic (byte-identical re-runs), "
+             "wall = real profiling (default: logical)",
+    )
+    p_trace.add_argument("--strategy", default="exhaustive")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a spec end to end and print the metrics snapshot",
+    )
+    p_metrics.add_argument("file", help=".edsl or .py kernel spec")
+    p_metrics.add_argument(
+        "--format", default="text", choices=("text", "json"),
+    )
+    p_metrics.add_argument("--strategy", default="exhaustive")
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_info = sub.add_parser("info", help="SDK inventory")
     p_info.set_defaults(func=cmd_info)
@@ -377,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

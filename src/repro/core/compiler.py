@@ -36,6 +36,10 @@ from repro.core.hls.scheduling import ResourceBudget
 from repro.core.ir.module import Module
 from repro.core.ir.passes.partitioning import HardwarePartitioningPass
 from repro.errors import AnalysisError, BackendError
+from repro.obs import current_metrics, current_tracer
+
+#: Tracer category for compile-driver phase spans.
+COMPILE_CATEGORY = "compiler.phase"
 
 
 @dataclass
@@ -92,53 +96,78 @@ class EverestCompiler:
 
     def compile(self, pipeline: Pipeline) -> CompiledApplication:
         """Compile a pipeline into variants + artifacts."""
-        module = pipeline.to_ir()
-        sensitive_kernels = self._propagate_sensitivity(module)
-        HardwarePartitioningPass().run(module)
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with tracer.span(f"compile:{pipeline.name}",
+                         category=COMPILE_CATEGORY) as compile_span:
+            with tracer.span("frontend", category=COMPILE_CATEGORY):
+                module = pipeline.to_ir()
+                sensitive_kernels = self._propagate_sensitivity(module)
+                HardwarePartitioningPass().run(module)
 
-        diagnostics = Diagnostics()
-        if self.static_checks:
-            # Pre-DSE gate: exploring or synthesizing a module that
-            # statically violates a secure.* policy or banks memory
-            # illegally would only waste the DSE budget.
-            analyze_module(module, diagnostics)
-            raise_if_errors(diagnostics, AnalysisError)
+            diagnostics = Diagnostics()
+            if self.static_checks:
+                # Pre-DSE gate: exploring or synthesizing a module that
+                # statically violates a secure.* policy or banks memory
+                # illegally would only waste the DSE budget.
+                with tracer.span("static-checks",
+                                 category=COMPILE_CATEGORY) as span:
+                    analyze_module(module, diagnostics)
+                    span.note(findings=len(diagnostics.items))
+                raise_if_errors(diagnostics, AnalysisError)
 
-        app = CompiledApplication(
-            name=pipeline.name,
-            module=module,
-            pipeline=pipeline,
-            package=VariantPackage(
-                application=pipeline.name, signing_key=self.signing_key
-            ),
-            sensitive_kernels=sensitive_kernels,
-            diagnostics=diagnostics,
-        )
-
-        for task in pipeline.tasks:
-            kernel = task.kernel
-            if kernel in app.exploration:
-                continue
-            space = self.space
-            if kernel in sensitive_kernels:
-                space = dataclasses.replace(space, dift_options=(True,))
-            explorer = Explorer(
-                module, kernel, space=space, model=self.model,
-                requirements=list(task.requirements)
-                + list(pipeline.requirements),
+            app = CompiledApplication(
+                name=pipeline.name,
+                module=module,
+                pipeline=pipeline,
+                package=VariantPackage(
+                    application=pipeline.name,
+                    signing_key=self.signing_key,
+                ),
+                sensitive_kernels=sensitive_kernels,
+                diagnostics=diagnostics,
             )
-            result = explorer.run(self.strategy)
-            app.exploration[kernel] = result
-            # Package every feasible variant: points off the Pareto
-            # front still matter at run time, when contention or data
-            # features shift the effective costs (mARGOt keeps the
-            # full operating-point list).
-            for variant in result.feasible:
-                artifact = (
-                    self._build_artifact(module, variant)
-                    if self.emit_artifacts else None
+
+            for task in pipeline.tasks:
+                kernel = task.kernel
+                if kernel in app.exploration:
+                    continue
+                space = self.space
+                if kernel in sensitive_kernels:
+                    space = dataclasses.replace(
+                        space, dift_options=(True,)
+                    )
+                explorer = Explorer(
+                    module, kernel, space=space, model=self.model,
+                    requirements=list(task.requirements)
+                    + list(pipeline.requirements),
                 )
-                app.package.add_variant(variant, artifact)
+                result = explorer.run(self.strategy)
+                app.exploration[kernel] = result
+                # Package every feasible variant: points off the Pareto
+                # front still matter at run time, when contention or
+                # data features shift the effective costs (mARGOt keeps
+                # the full operating-point list).
+                with tracer.span(f"package:{kernel}",
+                                 category=COMPILE_CATEGORY) as span:
+                    for variant in result.feasible:
+                        artifact = (
+                            self._build_artifact(module, variant)
+                            if self.emit_artifacts else None
+                        )
+                        app.package.add_variant(variant, artifact)
+                    span.note(variants=len(result.feasible))
+                metrics.counter(
+                    "compiler.variants_packaged",
+                    "variants added to packages",
+                ).inc(len(result.feasible), kernel=kernel)
+            compile_span.note(
+                kernels=len(app.exploration),
+                sensitive=len(sensitive_kernels),
+            )
+        metrics.counter(
+            "compiler.pipelines_compiled", "pipelines compiled",
+        ).inc()
         return app
 
     # ------------------------------------------------------------------

@@ -28,7 +28,11 @@ from repro.core.dse.space import DesignSpace, neighborhood
 from repro.core.ir.module import Module
 from repro.core.variants import Variant, VariantKnobs
 from repro.errors import DSEError
+from repro.obs import current_metrics, current_tracer
 from repro.utils.rng import deterministic_rng
+
+#: Tracer category for exploration spans and front-growth events.
+DSE_CATEGORY = "dse.explore"
 
 
 @dataclass
@@ -181,11 +185,46 @@ class Explorer:
 
     def run(self, strategy: str = "exhaustive", **kwargs
             ) -> ExplorationResult:
-        """Dispatch by strategy name."""
-        if strategy == "exhaustive":
-            return self.exhaustive()
-        if strategy == "random":
-            return self.random(**kwargs)
-        if strategy == "evolutionary":
-            return self.evolutionary(**kwargs)
-        raise DSEError(f"unknown exploration strategy {strategy!r}")
+        """Dispatch by strategy name; traces and meters the run."""
+        tracer = current_tracer()
+        with tracer.span(f"explore:{self.kernel}",
+                         category=DSE_CATEGORY,
+                         strategy=strategy) as span:
+            if strategy == "exhaustive":
+                result = self.exhaustive()
+            elif strategy == "random":
+                result = self.random(**kwargs)
+            elif strategy == "evolutionary":
+                result = self.evolutionary(**kwargs)
+            else:
+                raise DSEError(
+                    f"unknown exploration strategy {strategy!r}"
+                )
+            span.note(
+                evaluations=result.evaluations,
+                front=len(result.front),
+                feasible=len(result.feasible),
+            )
+        if tracer.enabled and tracer.detailed:
+            # Pareto-front growth curve: front size after each prefix
+            # of the evaluation order, one counter sample per point.
+            front_size = 0
+            for index in range(len(result.evaluated)):
+                size = len(
+                    pareto_front(result.evaluated[:index + 1])
+                )
+                if size != front_size:
+                    front_size = size
+                    tracer.counter(
+                        f"front:{self.kernel}", float(size),
+                        category=DSE_CATEGORY,
+                    )
+        metrics = current_metrics()
+        metrics.counter(
+            "dse.evaluations", "design points evaluated",
+        ).inc(result.evaluations, kernel=self.kernel,
+              strategy=strategy)
+        metrics.counter(
+            "dse.front_points", "Pareto-optimal points found",
+        ).inc(len(result.front), kernel=self.kernel)
+        return result

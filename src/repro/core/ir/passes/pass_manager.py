@@ -10,6 +10,10 @@ from repro.core.analysis.diagnostics import Diagnostics
 from repro.core.ir.module import Module
 from repro.core.ir.verifier import verify_diagnostics
 from repro.errors import PassError
+from repro.obs import current_metrics, current_tracer
+
+#: Tracer category for per-pass compile spans.
+PASS_CATEGORY = "compiler.pass"
 
 
 class Pass:
@@ -30,11 +34,19 @@ class Pass:
 
 @dataclass
 class PassStatistics:
-    """Execution record of one pass invocation."""
+    """Execution record of one pass invocation.
+
+    ``ops_before``/``ops_after`` record the module's operation count
+    around the pass when a *detailed* tracer was observing the run;
+    both stay ``-1`` otherwise (counting walks the whole module, so
+    it is only paid for on explicit request).
+    """
 
     name: str
     changed: bool
     seconds: float
+    ops_before: int = -1
+    ops_after: int = -1
 
 
 @dataclass
@@ -65,19 +77,49 @@ class PassManager:
 
     def run(self, module: Module) -> bool:
         """Run all passes; returns True if any changed the module."""
+        tracer = current_tracer()
+        metrics = current_metrics()
+        pass_seconds = metrics.histogram(
+            "compiler.pass_seconds", "wall time per compiler pass",
+        )
         any_changed = False
+        count_ops = tracer.enabled and tracer.detailed
         for pass_ in self.passes:
-            start = time.perf_counter()
-            try:
-                changed = pass_.run(module)
-            except PassError:
-                raise
-            except Exception as exc:
-                raise PassError(f"pass {pass_.name} failed: {exc}") from exc
-            elapsed = time.perf_counter() - start
-            self.statistics.append(
-                PassStatistics(pass_.name, bool(changed), elapsed)
+            ops_before = (
+                sum(1 for _ in module.walk()) if count_ops else -1
             )
+            span = tracer.span(
+                pass_.name, category=PASS_CATEGORY,
+                module=module.name,
+            )
+            start = time.perf_counter()
+            with span:
+                try:
+                    changed = pass_.run(module)
+                except PassError:
+                    raise
+                except Exception as exc:
+                    raise PassError(
+                        f"pass {pass_.name} failed: {exc}"
+                    ) from exc
+                elapsed = time.perf_counter() - start
+                ops_after = (
+                    sum(1 for _ in module.walk())
+                    if count_ops else -1
+                )
+                span.note(
+                    changed=bool(changed), ops_before=ops_before,
+                    ops_after=ops_after,
+                    ops_delta=ops_after - ops_before,
+                )
+            pass_seconds.observe(elapsed, name=pass_.name)
+            metrics.counter(
+                "compiler.passes_run", "compiler pass invocations",
+            ).inc(name=pass_.name)
+            self.statistics.append(PassStatistics(
+                pass_.name, bool(changed), elapsed,
+                ops_before=ops_before, ops_after=ops_after,
+            ))
             any_changed = any_changed or bool(changed)
             if self.verify_each:
                 self._check_after(pass_, module, lint=False)

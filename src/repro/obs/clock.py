@@ -1,0 +1,87 @@
+"""Clock sources for the tracer.
+
+Every :class:`~repro.obs.tracer.Tracer` reads timestamps from exactly
+one clock so a trace lives in a single, monotonic time domain:
+
+* :class:`WallClock` — ``time.perf_counter`` relative to construction;
+  the profiling clock for compile-time work.
+* :class:`SimClock` — reads ``sim.now`` of a discrete-event
+  :class:`~repro.platform.simulator.Simulator`; fully deterministic, so
+  workflow traces replay byte-identically.
+* :class:`LogicalClock` — a monotonic tick counter that advances on
+  every read; deterministic ordering when no meaningful time base
+  exists (e.g. a traced compile that must be reproducible).
+
+Each clock carries ``scale``, the factor that converts its raw units
+into the microseconds Chrome ``trace_event`` JSON expects. Raw values
+are kept unscaled inside the tracer so deterministic consumers (the
+workflow's :class:`~repro.workflow.tracing.ExecutionTrace` view) never
+see a lossy unit round-trip.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: a monotonic time source for one tracer."""
+
+    #: Multiplier converting raw readings to microseconds.
+    scale: float = 1e6
+
+    def now(self) -> float:
+        """Return the current raw reading (monotonic)."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Wall time in seconds since the clock was created."""
+
+    scale = 1e6
+
+    def __init__(self) -> None:
+        """Zero the clock at construction."""
+        self._origin = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds of wall time since construction."""
+        return time.perf_counter() - self._origin
+
+
+class SimClock(Clock):
+    """Simulated seconds read from a discrete-event simulator.
+
+    Deterministic: two replays of the same seeded scenario read the
+    same sequence of timestamps.
+    """
+
+    scale = 1e6
+
+    def __init__(self, sim) -> None:
+        """Bind to ``sim``, any object exposing a ``now`` attribute."""
+        self._sim = sim
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return float(self._sim.now)
+
+
+class LogicalClock(Clock):
+    """A deterministic tick counter that advances on every read.
+
+    One tick is exported as one microsecond, so spans remain visibly
+    ordered (and strictly nested) in Perfetto without depending on
+    wall time.
+    """
+
+    scale = 1.0
+
+    def __init__(self) -> None:
+        """Start at tick zero."""
+        self._tick = 0
+
+    def now(self) -> float:
+        """Return the next tick (each call advances the clock)."""
+        self._tick += 1
+        return float(self._tick)

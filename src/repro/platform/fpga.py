@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import CapacityError, PlatformError, ReconfigurationError
+from repro.obs import current_metrics
 from repro.platform.memory import MemoryModel
 from repro.platform.resources import FPGAResources
 from repro.utils.validation import check_non_negative, check_positive
@@ -187,6 +188,10 @@ class FPGADevice:
             self.failed_reconfigurations += 1
             # time was spent streaming the image before the fault hit
             self.total_reconfig_time += self.reconfiguration_time(bitstream)
+            current_metrics().counter(
+                "fpga.reconfigurations_failed",
+                "partial reconfigurations aborted by faults",
+            ).inc(device=self.name)
             raise ReconfigurationError(
                 f"device {self.name!r}: partial reconfiguration of "
                 f"{bitstream.name!r} failed (injected fault); retry the load"
@@ -194,6 +199,10 @@ class FPGADevice:
         target.loaded = bitstream
         target.reconfigurations += 1
         self.total_reconfig_time += self.reconfiguration_time(bitstream)
+        current_metrics().counter(
+            "fpga.reconfigurations",
+            "successful partial reconfigurations",
+        ).inc(device=self.name)
         return target
 
     def unload(self, role: Role) -> None:

@@ -24,6 +24,9 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.errors import PlatformError
 from repro.utils.validation import check_non_negative, check_positive
 
+#: Tracer category for resource occupancy / queue-depth counters.
+RESOURCE_CATEGORY = "platform.resource"
+
 
 class Event:
     """A one-shot event processes can wait on.
@@ -125,6 +128,23 @@ class SimResource:
         self.total_waits = 0
         self.total_grants = 0
 
+    def _record_occupancy(self) -> None:
+        """Emit busy/queue counters into the simulator's tracer."""
+        tracer = self._sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.counter(
+                f"resource:{self.name}",
+                float(self.in_use),
+                category=RESOURCE_CATEGORY,
+                track=self.name,
+            )
+            tracer.counter(
+                f"queue:{self.name}",
+                float(len(self._queue)),
+                category=RESOURCE_CATEGORY,
+                track=self.name,
+            )
+
     def request(self) -> Request:
         """Return a request object to ``yield`` from a process."""
         return Request(self)
@@ -141,6 +161,7 @@ class SimResource:
             self.in_use += 1
             self.total_grants += 1
             self._sim._schedule(0.0, process, None)
+        self._record_occupancy()
 
     def _enqueue(self, process: Process) -> None:
         if self.in_use < self.capacity:
@@ -150,6 +171,7 @@ class SimResource:
         else:
             self.total_waits += 1
             self._queue.append(process)
+        self._record_occupancy()
 
     @property
     def queue_length(self) -> int:
@@ -165,6 +187,9 @@ class Simulator:
         self._heap: List[Tuple[float, int, Process, Any]] = []
         self._sequence = 0
         self._processes: List[Process] = []
+        #: Optional :class:`repro.obs.Tracer` observing this run;
+        #: resources report occupancy into it when one is attached.
+        self.tracer: Optional[Any] = None
 
     def process(
         self, gen: Generator, name: str = ""

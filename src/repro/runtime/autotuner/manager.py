@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import RuntimeSystemError
+from repro.obs import current_metrics, current_tracer
 from repro.runtime.autotuner.data_features import (
     NOMINAL,
     DataFeatures,
@@ -30,6 +31,9 @@ from repro.runtime.autotuner.knowledge import (
     OperatingPoint,
 )
 from repro.runtime.autotuner.monitor import RuntimeMonitor
+
+#: Tracer category for autotuner adaptation decisions.
+TUNER_CATEGORY = "autotuner.decision"
 
 
 @dataclass
@@ -120,9 +124,31 @@ class ApplicationManager:
 
         best = min(candidates, key=score)
         previous = self.selections.get(kernel)
-        if previous is not None and previous != best.variant.variant_id:
+        switched = (
+            previous is not None
+            and previous != best.variant.variant_id
+        )
+        if switched:
             self.switches += 1
         self.selections[kernel] = best.variant.variant_id
+        metrics = current_metrics()
+        metrics.counter(
+            "autotuner.selections", "operating-point selections",
+        ).inc(kernel=kernel)
+        if switched:
+            metrics.counter(
+                "autotuner.switches", "variant switches at run time",
+            ).inc(kernel=kernel)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "switch" if switched else "select",
+                category=TUNER_CATEGORY, kernel=kernel,
+                variant=best.variant.knobs.describe(),
+                previous=-1 if previous is None else previous,
+                fpga_available=state.fpga_available,
+                security_alert=state.security_alert,
+            )
         return best
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from repro.core.compiler import CompiledApplication
 from repro.errors import RuntimeSystemError
+from repro.obs import current_metrics, current_tracer
 from repro.platform.power import EnergyMeter
 from repro.platform.topology import Ecosystem, Tier
 from repro.runtime.autotuner.goals import Goal
@@ -42,6 +43,9 @@ from repro.workflow.recovery import (
 from repro.workflow.scheduler import LocalityScheduler
 from repro.workflow.tracing import ExecutionTrace
 from repro.workflow.worker import Worker
+
+#: Tracer category for orchestration phase spans and decisions.
+RUNTIME_CATEGORY = "runtime.orchestrate"
 
 #: Worker slots granted per node class.
 _SLOTS = {"ppc64le": 8, "x86": 8, "arm": 2, "riscv": 2, "fpga": 1}
@@ -109,6 +113,7 @@ class Orchestrator:
         placement: Dict[str, str], graph: TaskGraph,
     ) -> Dict[str, str]:
         """Pick a variant per task given its assigned node."""
+        tracer = current_tracer()
         knowledge = KnowledgeBase()
         knowledge.load_package(app.package)
         manager = ApplicationManager(knowledge, goal=self.goal)
@@ -119,6 +124,12 @@ class Orchestrator:
             state = SystemState(fpga_available=node.has_fpga)
             point = manager.select(kernel, state)
             selections[task_name] = point.variant.knobs.describe()
+            tracer.instant(
+                "variant-selected", category=RUNTIME_CATEGORY,
+                task=task_name, node=node_name, kernel=kernel,
+                variant=point.variant.knobs.describe(),
+                expected_latency_s=point.expected_latency_s,
+            )
             # the selected variant's expected latency refines the
             # task duration used by the engine
             graph.tasks[task_name].duration_s = (
@@ -138,45 +149,66 @@ class Orchestrator:
         """Place, select and execute; returns the deployment report."""
         if rounds < 1:
             raise RuntimeSystemError("rounds must be >= 1")
-        graph = build_task_graph(app, locality=data_locality)
-        placer = TierPlacer(self.ecosystem)
-        placement = placer.place(graph)
+        tracer = current_tracer()
+        metrics = current_metrics()
+        with tracer.span(f"deploy:{app.name}",
+                         category=RUNTIME_CATEGORY) as deploy_span:
+            with tracer.span("placement",
+                             category=RUNTIME_CATEGORY) as span:
+                graph = build_task_graph(app, locality=data_locality)
+                placer = TierPlacer(self.ecosystem)
+                placement = placer.place(graph)
+                span.note(tasks=len(placement.assignments))
 
-        selections = self._select_variants(
-            app, placement.assignments, graph
-        )
-        workers = self._workers_for(
-            list(placement.assignments.values())
-        )
-        # pin external inputs to their locality
-        for obj in graph.external_inputs():
-            if data_locality and obj.name in data_locality:
-                obj.locality = data_locality[obj.name]
-
-        server = ResilientServer(
-            workers,
-            ecosystem=self.ecosystem,
-            policy=LocalityScheduler(),
-        )
-        energy = EnergyMeter()
-        trace = None
-        stats = None
-        for _round in range(rounds):
-            trace, stats = server.run(
-                graph,
-                failures=failures if _round == 0 else None,
+            with tracer.span("variant-selection",
+                             category=RUNTIME_CATEGORY):
+                selections = self._select_variants(
+                    app, placement.assignments, graph
+                )
+            workers = self._workers_for(
+                list(placement.assignments.values())
             )
-            for record in trace.records:
-                worker = next(
-                    w for w in workers if w.name == record.worker
+            # pin external inputs to their locality
+            for obj in graph.external_inputs():
+                if data_locality and obj.name in data_locality:
+                    obj.locality = data_locality[obj.name]
+
+            server = ResilientServer(
+                workers,
+                ecosystem=self.ecosystem,
+                policy=LocalityScheduler(),
+            )
+            energy = EnergyMeter()
+            trace = None
+            stats = None
+            for _round in range(rounds):
+                trace, stats = server.run(
+                    graph,
+                    failures=failures if _round == 0 else None,
                 )
-                node = worker.node
-                watts = 20.0
-                if node is not None and node.cpu is not None:
-                    watts = node.cpu.tdp_watts * 0.5
-                energy.add_power(
-                    record.worker, watts, record.duration, "compute"
-                )
+                for record in trace.records:
+                    worker = next(
+                        w for w in workers if w.name == record.worker
+                    )
+                    node = worker.node
+                    watts = 20.0
+                    if node is not None and node.cpu is not None:
+                        watts = node.cpu.tdp_watts * 0.5
+                    energy.add_power(
+                        record.worker, watts, record.duration,
+                        "compute",
+                    )
+            deploy_span.note(
+                rounds=rounds, makespan=trace.makespan,
+                workers=len(workers),
+            )
+        metrics.counter(
+            "runtime.deployments", "applications deployed",
+        ).inc(application=app.name)
+        metrics.gauge(
+            "runtime.last_makespan_seconds",
+            "makespan of the most recent deployment",
+        ).set(trace.makespan, application=app.name)
         return DeploymentReport(
             trace=trace,
             placement=dict(placement.assignments),

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SecurityError, VirtualizationError
+from repro.obs import current_metrics
 from repro.platform.fpga import Bitstream, FPGADevice, Role
 from repro.platform.node import Node
 from repro.runtime.virt.vm import VM
@@ -80,6 +81,9 @@ class VFPGAManager:
                 )
                 self.leases[role.name] = lease
                 vm.attach_device(role.name)
+                current_metrics().counter(
+                    "vfpga.leases", "role slots leased to VMs",
+                ).inc(node=self.node.name)
                 return lease
         raise VirtualizationError(
             f"no free role slot fits bitstream {bitstream.name!r} on "
@@ -96,6 +100,9 @@ class VFPGAManager:
             lease.device.reconfiguration_time(bitstream)
         )
         lease.bitstream_name = bitstream.name
+        current_metrics().counter(
+            "vfpga.reconfigurations", "leased-role bitstream swaps",
+        ).inc(node=self.node.name)
 
     def release(self, vm: VM, lease: RoleLease) -> None:
         """Return a leased slot."""

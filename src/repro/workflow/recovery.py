@@ -43,15 +43,22 @@ from repro.chaos.faults import (
 )
 from repro.chaos.schedule import ChaosSchedule
 from repro.errors import ChaosError, PlatformError, WorkflowError
+from repro.obs import Tracer, current_metrics
 from repro.platform.simulator import Simulator
 from repro.platform.topology import Ecosystem
 from repro.workflow.graph import TaskGraph
 from repro.workflow.scheduler import BLevelScheduler, SchedulerPolicy
+from repro.workflow.server import (
+    SCHED_CATEGORY,
+    TRANSFER_CATEGORY,
+    make_sim_tracer,
+    publish_run,
+)
 from repro.workflow.tracing import (
+    FAULT_CATEGORY,
+    RECOVERY_CATEGORY,
+    TASK_CATEGORY,
     ExecutionTrace,
-    FaultRecord,
-    RecoveryRecord,
-    TaskRecord,
 )
 from repro.workflow.worker import Worker
 
@@ -204,14 +211,17 @@ class ResilientServer:
         graph: TaskGraph,
         failures: Optional[List[FailureInjection]] = None,
         chaos: Optional[ChaosSchedule] = None,
+        tracer: Optional[Tracer] = None,
     ) -> tuple:
         """Execute with fault injection and recovery.
 
         ``failures`` is the legacy interface (permanent worker crashes);
-        ``chaos`` is a full :class:`ChaosSchedule`. Returns
-        (trace, recovery stats). Raises :class:`WorkflowError` when
-        every worker dies with no restart pending, and
-        :class:`ChaosError` when a task exhausts its retry budget.
+        ``chaos`` is a full :class:`ChaosSchedule`; ``tracer`` (or the
+        ambient session tracer) receives the simulated timeline as a
+        ``workflow:<graph>`` process. Returns (trace, recovery stats).
+        Raises :class:`WorkflowError` when every worker dies with no
+        restart pending, and :class:`ChaosError` when a task exhausts
+        its retry budget.
         """
         graph.validate()
         self.policy.prepare(graph)
@@ -220,10 +230,7 @@ class ResilientServer:
         self._default_partitions = 0
         retry = self.retry
         stats = RecoveryStats()
-        trace = ExecutionTrace(
-            graph_name=graph.name,
-            policy=f"{self.policy.name}+recovery",
-        )
+        metrics = current_metrics()
 
         all_faults: List = []
         for injection in failures or []:
@@ -254,6 +261,29 @@ class ResilientServer:
                 )
 
         sim = Simulator()
+        events = make_sim_tracer(sim, graph.name)
+
+        def record_fault(kind: str, target: str, detail: str = ""
+                         ) -> None:
+            events.instant(
+                kind, category=FAULT_CATEGORY, track="faults",
+                kind=kind, target=target, time=sim.now, detail=detail,
+            )
+            metrics.counter(
+                "workflow.faults", "injected faults observed",
+            ).inc(kind=kind)
+
+        def record_recovery(action: str, target: str, detail: str = ""
+                            ) -> None:
+            events.instant(
+                action, category=RECOVERY_CATEGORY, track="recovery",
+                action=action, target=target, time=sim.now,
+                detail=detail,
+            )
+            metrics.counter(
+                "workflow.recoveries", "recovery actions taken",
+            ).inc(action=action)
+
         locations: Dict[str, str] = {}
         homes: Dict[str, str] = {}
         for obj in graph.external_inputs():
@@ -346,19 +376,18 @@ class ResilientServer:
             delay = retry.backoff_for(attempt)
             stats.backoff_seconds += delay
             backing_off.add(task_name)
-            trace.add_recovery(RecoveryRecord(
-                action="backoff", target=task_name, time=sim.now,
-                detail=f"attempt {attempt} aborted ({reason}); "
-                       f"retry in {delay:.3f}s",
-            ))
+            record_recovery(
+                "backoff", task_name,
+                f"attempt {attempt} aborted ({reason}); "
+                f"retry in {delay:.3f}s",
+            )
             if delay:
                 yield sim.timeout(delay)
             backing_off.discard(task_name)
             stats.retries += 1
-            trace.add_recovery(RecoveryRecord(
-                action="retry", target=task_name, time=sim.now,
-                detail=f"attempt {attempt + 1}",
-            ))
+            record_recovery(
+                "retry", task_name, f"attempt {attempt + 1}"
+            )
             if deps_satisfied(task_name):
                 mark_ready(task_name)
             poke()
@@ -398,7 +427,14 @@ class ResilientServer:
                     )
                     return
                 if seconds:
+                    stage_start = sim.now
                     yield sim.timeout(seconds)
+                    events.complete(
+                        f"stage:{input_name}", stage_start, sim.now,
+                        category=TRANSFER_CATEGORY, track=worker.name,
+                        source=source,
+                        bytes=graph.objects[input_name].size_bytes,
+                    )
                 if not worker_ok():
                     yield from requeue(
                         task_name, worker, False,
@@ -415,10 +451,10 @@ class ResilientServer:
                 # the fault bites mid-execution: half the work is lost
                 yield sim.timeout(duration * 0.5)
                 stats.task_faults += 1
-                trace.add_fault(FaultRecord(
-                    kind="task-fault", target=task_name, time=sim.now,
-                    detail=f"transient fault on {worker.name}",
-                ))
+                record_fault(
+                    "task-fault", task_name,
+                    f"transient fault on {worker.name}",
+                )
                 yield from requeue(
                     task_name, worker, worker_ok(), "transient task fault"
                 )
@@ -451,11 +487,16 @@ class ResilientServer:
                 locations[output_name] = worker.name
                 worker.store.add(output_name)
             finished.add(task_name)
-            trace.add(TaskRecord(
-                task=task_name, worker=worker.name,
+            events.complete(
+                task_name, start, sim.now, category=TASK_CATEGORY,
+                track=worker.name, task=task_name, worker=worker.name,
                 ready_at=start_ready, start=start, end=sim.now,
                 transfer_seconds=staging, bytes_moved=moved,
-            ))
+            )
+            metrics.counter(
+                "workflow.tasks_executed",
+                "tasks completed by the workflow engine",
+            ).inc(worker=worker.name)
             for consumer in graph.consumers(task_name):
                 if deps_satisfied(consumer):
                     mark_ready(consumer)
@@ -471,10 +512,10 @@ class ResilientServer:
             if task_name in finished:
                 finished.discard(task_name)
                 stats.tasks_relineaged += 1
-                trace.add_recovery(RecoveryRecord(
-                    action="lineage", target=task_name, time=sim.now,
-                    detail="output lost; re-executing producer",
-                ))
+                record_recovery(
+                    "lineage", task_name,
+                    "output lost; re-executing producer",
+                )
             for output_name in graph.tasks[task_name].outputs:
                 locations.pop(output_name, None)
                 for worker in self.workers:
@@ -501,10 +542,9 @@ class ResilientServer:
             target.store.add(object_name)
             locations[object_name] = target.name
             stats.inputs_refetched += 1
-            trace.add_recovery(RecoveryRecord(
-                action="refetch", target=object_name, time=sim.now,
-                detail=f"to {target.name}",
-            ))
+            record_recovery(
+                "refetch", object_name, f"to {target.name}"
+            )
 
         def take_down(victim: Worker, lose_store: bool):
             """Shared crash/reconfig path: remove from pool, free
@@ -545,9 +585,7 @@ class ResilientServer:
                 if fresh:
                     victim.reset()
                 stats.restarts += 1
-                trace.add_recovery(RecoveryRecord(
-                    action=action, target=victim.name, time=sim.now,
-                ))
+                record_recovery(action, victim.name)
                 for object_name in sorted(deferred_refetch):
                     deferred_refetch.discard(object_name)
                     yield from refetch(object_name)
@@ -563,10 +601,7 @@ class ResilientServer:
                 "permanent" if fault.restart_after is None
                 else f"restart in {fault.restart_after:.3f}s"
             )
-            trace.add_fault(FaultRecord(
-                kind="worker-crash", target=victim.name, time=sim.now,
-                detail=detail,
-            ))
+            record_fault("worker-crash", victim.name, detail)
             stats.failures += 1
             yield from take_down(victim, lose_store=True)
             recheck_ready()
@@ -582,10 +617,10 @@ class ResilientServer:
         def apply_reconfig(fault: ReconfigFault):
             yield sim.timeout(fault.at_time)
             victim = self._worker(fault.worker)
-            trace.add_fault(FaultRecord(
-                kind="reconfig-failure", target=victim.name,
-                time=sim.now, detail=f"repair in {fault.repair_s:.3f}s",
-            ))
+            record_fault(
+                "reconfig-failure", victim.name,
+                f"repair in {fault.repair_s:.3f}s",
+            )
             stats.reconfig_faults += 1
             yield from take_down(victim, lose_store=False)
             recheck_ready()
@@ -600,21 +635,17 @@ class ResilientServer:
         def apply_straggler(fault: StragglerFault):
             yield sim.timeout(fault.at_time)
             victim = self._worker(fault.worker)
-            trace.add_fault(FaultRecord(
-                kind="straggler", target=victim.name, time=sim.now,
-                detail=f"{fault.slowdown:.2f}x for "
-                       f"{fault.duration_s:.3f}s",
-            ))
+            record_fault(
+                "straggler", victim.name,
+                f"{fault.slowdown:.2f}x for {fault.duration_s:.3f}s",
+            )
             stats.stragglers += 1
             epoch = incarnations[victim.name]
             victim.slowdown = max(victim.slowdown, fault.slowdown)
             yield sim.timeout(fault.duration_s)
             if incarnations[victim.name] == epoch:
                 victim.slowdown = 1.0
-            trace.add_recovery(RecoveryRecord(
-                action="straggler-clear", target=victim.name,
-                time=sim.now,
-            ))
+            record_recovery("straggler-clear", victim.name)
             poke()
 
         def apply_link(fault: LinkFault):
@@ -624,10 +655,7 @@ class ResilientServer:
                 else f"bandwidth x{fault.bandwidth_factor:.3f}, "
                      f"+{fault.latency_add_s * 1e3:.1f}ms"
             )
-            trace.add_fault(FaultRecord(
-                kind=fault.kind, target=fault.target, time=sim.now,
-                detail=detail,
-            ))
+            record_fault(fault.kind, fault.target, detail)
             stats.link_faults += 1
             wildcard = fault.node_a == ANY_LINK
             overlay = (fault.bandwidth_factor, fault.latency_add_s)
@@ -652,9 +680,7 @@ class ResilientServer:
                     self._default_degradations.remove(overlay)
             else:
                 self.ecosystem.restore_link(fault.node_a, fault.node_b)
-            trace.add_recovery(RecoveryRecord(
-                action="link-heal", target=fault.target, time=sim.now,
-            ))
+            record_recovery("link-heal", fault.target)
             poke()
 
         appliers = {
@@ -693,6 +719,15 @@ class ResilientServer:
                     else:
                         task_name, worker = choice
                         ready.remove(task_name)
+                        events.instant(
+                            "dispatch", category=SCHED_CATEGORY,
+                            track="scheduler", task=task_name,
+                            worker=worker.name,
+                        )
+                        events.counter(
+                            "ready_tasks", float(len(ready)),
+                            category=SCHED_CATEGORY, track="scheduler",
+                        )
                         worker.acquire(graph.tasks[task_name].cpus)
                         running[task_name] = worker
                         sim.process(
@@ -706,6 +741,17 @@ class ResilientServer:
             return None
 
         sim.run_process(dispatcher(), name="dispatcher")
+        trace = ExecutionTrace.from_tracer(
+            events, graph_name=graph.name,
+            policy=f"{self.policy.name}+recovery",
+        )
+        metrics.counter(
+            "workflow.bytes_moved", "bytes staged between workers",
+        ).inc(trace.bytes_moved)
+        metrics.counter(
+            "workflow.retries", "task attempts retried after a fault",
+        ).inc(stats.retries)
+        publish_run(events, graph.name, tracer)
         return trace, stats
 
 

@@ -54,6 +54,7 @@ class FIFOScheduler(SchedulerPolicy):
     name = "fifo"
 
     def select(self, ready, workers, graph, locations, transfer_cost):
+        """Assign the earliest-ready task to the first fitting worker."""
         for task_name in ready:
             task = graph.tasks[task_name]
             eligible = self._eligible(task, workers)
@@ -68,6 +69,7 @@ class BLevelScheduler(SchedulerPolicy):
     name = "b-level"
 
     def select(self, ready, workers, graph, locations, transfer_cost):
+        """Assign the most critical ready task to the freest worker."""
         ordered = sorted(
             ready, key=lambda name: -self._b_levels[name]
         )
@@ -90,6 +92,7 @@ class LocalityScheduler(SchedulerPolicy):
     name = "locality"
 
     def select(self, ready, workers, graph, locations, transfer_cost):
+        """Assign the cheapest-to-stage (task, worker) pair."""
         ordered = sorted(
             ready, key=lambda name: -self._b_levels[name]
         )

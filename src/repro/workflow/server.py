@@ -5,6 +5,15 @@ Runs a :class:`~repro.workflow.graph.TaskGraph` over a pool of
 simulator, staging data objects between workers (through the ecosystem
 topology when one is provided) and producing an
 :class:`~repro.workflow.tracing.ExecutionTrace`.
+
+Every run is traced: the server emits task spans (one lane per
+worker), staging-transfer spans, scheduler-decision instants and
+ready-queue counters into a simulated-time tracer, and the returned
+``ExecutionTrace`` is a view over those events
+(:meth:`~repro.workflow.tracing.ExecutionTrace.from_tracer`). When an
+enabled tracer is passed in — or installed ambiently via
+:func:`repro.obs.observe` — the whole simulated timeline is absorbed
+into it as its own process for Chrome-trace export.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.errors import WorkflowError
+from repro.obs import SimClock, Tracer, current_metrics, current_tracer
 from repro.platform.simulator import Simulator
 from repro.platform.topology import Ecosystem
 from repro.workflow.graph import TaskGraph
@@ -19,8 +29,28 @@ from repro.workflow.scheduler import (
     BLevelScheduler,
     SchedulerPolicy,
 )
-from repro.workflow.tracing import ExecutionTrace, TaskRecord
+from repro.workflow.tracing import TASK_CATEGORY, ExecutionTrace
 from repro.workflow.worker import Worker
+
+#: Tracer categories for the extra (non-ExecutionTrace) detail.
+TRANSFER_CATEGORY = "workflow.transfer"
+SCHED_CATEGORY = "workflow.sched"
+
+
+def make_sim_tracer(sim: Simulator, graph_name: str) -> Tracer:
+    """A simulated-time tracer for one run, attached to the engine."""
+    tracer = Tracer(clock=SimClock(sim), enabled=True,
+                    process=f"workflow:{graph_name}")
+    sim.tracer = tracer
+    return tracer
+
+
+def publish_run(sim_tracer: Tracer, graph_name: str,
+                tracer: Optional[Tracer]) -> None:
+    """Absorb a run's simulated timeline into the session tracer."""
+    target = tracer if tracer is not None else current_tracer()
+    if target.enabled:
+        target.absorb(sim_tracer, process=f"workflow:{graph_name}")
 
 #: Default inter-worker staging model when no ecosystem is given.
 _DEFAULT_LATENCY_S = 1e-3
@@ -68,15 +98,19 @@ class WorkflowServer:
 
     # ------------------------------------------------------------------
 
-    def run(self, graph: TaskGraph) -> ExecutionTrace:
-        """Execute the graph to completion; returns the trace."""
+    def run(self, graph: TaskGraph,
+            tracer: Optional[Tracer] = None) -> ExecutionTrace:
+        """Execute the graph to completion; returns the trace.
+
+        ``tracer`` (or the ambient session tracer) receives the whole
+        simulated timeline as a ``workflow:<graph>`` process.
+        """
         graph.validate()
         self.policy.prepare(graph)
-        trace = ExecutionTrace(
-            graph_name=graph.name, policy=self.policy.name
-        )
 
         sim = Simulator()
+        events = make_sim_tracer(sim, graph.name)
+        metrics = current_metrics()
         locations: Dict[str, str] = {}
         # External inputs start on their preferred worker (or the first).
         for obj in graph.external_inputs():
@@ -134,7 +168,13 @@ class WorkflowServer:
                     source, worker.name, size
                 )
                 if seconds:
+                    stage_start = sim.now
                     yield sim.timeout(seconds)
+                    events.complete(
+                        f"stage:{input_name}", stage_start, sim.now,
+                        category=TRANSFER_CATEGORY, track=worker.name,
+                        source=source, bytes=size,
+                    )
                 staging += seconds
                 moved += size
                 worker.store.add(input_name)
@@ -148,15 +188,16 @@ class WorkflowServer:
                 locations[output_name] = worker.name
                 worker.store.add(output_name)
             worker.release(task.cpus)
-            trace.add(TaskRecord(
-                task=task_name,
-                worker=worker.name,
-                ready_at=start_ready,
-                start=start,
-                end=sim.now,
-                transfer_seconds=staging,
-                bytes_moved=moved,
-            ))
+            events.complete(
+                task_name, start, sim.now, category=TASK_CATEGORY,
+                track=worker.name, task=task_name, worker=worker.name,
+                ready_at=start_ready, start=start, end=sim.now,
+                transfer_seconds=staging, bytes_moved=moved,
+            )
+            metrics.counter(
+                "workflow.tasks_executed",
+                "tasks completed by the workflow engine",
+            ).inc(worker=worker.name)
             finished.append(task_name)
             for consumer in graph.consumers(task_name):
                 remaining_deps[consumer] -= 1
@@ -179,6 +220,15 @@ class WorkflowServer:
                     else:
                         task_name, worker = choice
                         ready.remove(task_name)
+                        events.instant(
+                            "dispatch", category=SCHED_CATEGORY,
+                            track="scheduler", task=task_name,
+                            worker=worker.name,
+                        )
+                        events.counter(
+                            "ready_tasks", float(len(ready)),
+                            category=SCHED_CATEGORY, track="scheduler",
+                        )
                         worker.acquire(graph.tasks[task_name].cpus)
                         sim.process(
                             run_task(task_name, worker),
@@ -191,6 +241,13 @@ class WorkflowServer:
             return None
 
         sim.run_process(dispatcher(), name="dispatcher")
+        trace = ExecutionTrace.from_tracer(
+            events, graph_name=graph.name, policy=self.policy.name
+        )
+        metrics.counter(
+            "workflow.bytes_moved", "bytes staged between workers",
+        ).inc(trace.bytes_moved)
+        publish_run(events, graph.name, tracer)
         return trace
 
     # ------------------------------------------------------------------

@@ -5,6 +5,17 @@ injected fault (:class:`FaultRecord`) and every recovery action the
 server took in response (:class:`RecoveryRecord`), so a chaos run is
 fully auditable: each fault in a schedule must show up here, and the
 whole trace serializes deterministically for replay comparison.
+
+Since the observability layer landed, the servers do not build this
+record directly: they emit spans and instants into a simulated-time
+:class:`~repro.obs.tracer.Tracer`, and :meth:`ExecutionTrace.from_tracer`
+derives the trace as a *view* over those events. The categories the
+view consumes are :data:`TASK_CATEGORY`, :data:`FAULT_CATEGORY` and
+:data:`RECOVERY_CATEGORY`; everything else in the tracer (transfer
+spans, scheduler decisions, queue-depth counters) is extra detail that
+only shows up in the exported Chrome trace. The serialized form — and
+therefore :meth:`ExecutionTrace.digest` — is unchanged from the
+pre-tracer implementation.
 """
 
 from __future__ import annotations
@@ -13,6 +24,11 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List
+
+#: Tracer categories the :meth:`ExecutionTrace.from_tracer` view maps.
+TASK_CATEGORY = "workflow.task"
+FAULT_CATEGORY = "workflow.fault"
+RECOVERY_CATEGORY = "workflow.recovery"
 
 
 @dataclass
@@ -80,6 +96,48 @@ class ExecutionTrace:
     recoveries: List[RecoveryRecord] = field(default_factory=list)
     makespan: float = 0.0
     bytes_moved: int = 0
+
+    @classmethod
+    def from_tracer(cls, tracer, graph_name: str,
+                    policy: str) -> "ExecutionTrace":
+        """Build the trace as a view over a server's tracer events.
+
+        Walks the tracer's events in emission order and maps complete
+        spans of category :data:`TASK_CATEGORY` to task records and
+        instants of :data:`FAULT_CATEGORY` / :data:`RECOVERY_CATEGORY`
+        to fault/recovery records. Because the servers emit each event
+        at exactly the point the old implementation appended the
+        matching record, the resulting lists — and the serialized
+        bytes — are identical to the pre-tracer trace.
+        """
+        trace = cls(graph_name=graph_name, policy=policy)
+        for event in tracer.events:
+            if event.phase == "X" and event.category == TASK_CATEGORY:
+                trace.add(TaskRecord(
+                    task=event.args["task"],
+                    worker=event.args["worker"],
+                    ready_at=event.args["ready_at"],
+                    start=event.args["start"],
+                    end=event.args["end"],
+                    transfer_seconds=event.args["transfer_seconds"],
+                    bytes_moved=event.args["bytes_moved"],
+                ))
+            elif event.phase == "i" and event.category == FAULT_CATEGORY:
+                trace.add_fault(FaultRecord(
+                    kind=event.args["kind"],
+                    target=event.args["target"],
+                    time=event.args["time"],
+                    detail=event.args["detail"],
+                ))
+            elif (event.phase == "i"
+                  and event.category == RECOVERY_CATEGORY):
+                trace.add_recovery(RecoveryRecord(
+                    action=event.args["action"],
+                    target=event.args["target"],
+                    time=event.args["time"],
+                    detail=event.args["detail"],
+                ))
+        return trace
 
     def add(self, record: TaskRecord) -> None:
         """Append a task record, extending the makespan."""

@@ -1,0 +1,64 @@
+"""Ambient observation context: install, restore, session defaults."""
+
+from repro.obs import (
+    LogicalClock,
+    Observation,
+    current,
+    current_metrics,
+    current_tracer,
+    observe,
+    session,
+)
+
+
+class TestAmbient:
+    def test_default_tracer_is_disabled(self):
+        assert not current_tracer().enabled
+
+    def test_default_metrics_registry_is_live(self):
+        current_metrics().counter("ambient.test").inc()
+        assert current_metrics().counter("ambient.test").total() >= 1
+
+    def test_observe_installs_and_restores(self):
+        before = current()
+        obs = session()
+        with observe(obs):
+            assert current() is obs
+            assert current_tracer() is obs.tracer
+        assert current() is before
+
+    def test_observe_restores_on_exception(self):
+        before = current()
+        try:
+            with observe(session()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current() is before
+
+    def test_nested_observe(self):
+        outer, inner = session(), session()
+        with observe(outer):
+            with observe(inner):
+                assert current() is inner
+            assert current() is outer
+
+
+class TestSession:
+    def test_session_tracer_is_enabled(self):
+        assert session().tracer.enabled
+
+    def test_deterministic_session_uses_logical_clock(self):
+        obs = session(deterministic=True)
+        assert isinstance(obs.tracer.clock, LogicalClock)
+
+    def test_sessions_are_independent(self):
+        a, b = session(), session()
+        assert a.tracer is not b.tracer
+        assert a.metrics is not b.metrics
+
+    def test_observation_defaults(self):
+        obs = Observation()
+        assert not obs.tracer.enabled
+        obs.metrics.counter("x").inc()
+        assert obs.metrics.counter("x").total() == 1

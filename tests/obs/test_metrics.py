@@ -1,0 +1,141 @@
+"""Metrics registry: bucketing edges, labels, snapshot determinism."""
+
+import pytest
+
+from repro.errors import EverestError
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.metrics import Histogram
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tasks")
+        counter.inc(worker="a")
+        counter.inc(2.0, worker="a")
+        counter.inc(worker="b")
+        assert counter.value(worker="a") == 3.0
+        assert counter.value(worker="b") == 1.0
+        assert counter.total() == 4.0
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(EverestError):
+            counter.inc(-1.0)
+
+    def test_label_order_is_irrelevant(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value() == 3.0
+
+
+class TestHistogramBucketing:
+    def test_value_on_boundary_lands_in_that_bucket(self):
+        """Cumulative le semantics: v == bound counts in that bucket."""
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(2.0)
+        counts = histogram.bucket_counts()
+        assert counts[repr(1.0)] == 0
+        assert counts[repr(2.0)] == 1
+        assert counts[repr(4.0)] == 1
+        assert counts["+Inf"] == 1
+
+    def test_value_below_first_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        counts = histogram.bucket_counts()
+        assert counts[repr(1.0)] == 1
+        assert counts[repr(2.0)] == 1
+
+    def test_value_above_last_bound_only_in_inf(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        counts = histogram.bucket_counts()
+        assert counts[repr(1.0)] == 0
+        assert counts[repr(2.0)] == 0
+        assert counts["+Inf"] == 1
+
+    def test_count_and_sum(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        assert histogram.count() == 2
+        assert histogram.sum() == pytest.approx(3.5)
+
+    def test_counts_are_cumulative_across_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts[repr(1.0)] == 1
+        assert counts[repr(10.0)] == 2
+        assert counts[repr(100.0)] == 3
+        assert counts["+Inf"] == 4
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(EverestError):
+            Histogram("h", buckets=())
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(EverestError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_rejects_infinite_bound(self):
+        with pytest.raises(EverestError):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(EverestError):
+            registry.gauge("x")
+
+    def test_snapshot_is_deterministic(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            registry.counter("b").inc(worker="w2")
+            registry.counter("b").inc(worker="w1")
+            registry.gauge("a").set(3.0)
+            registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+            return registry.to_json()
+
+        first, second = build(), build()
+        assert first == second
+
+    def test_snapshot_sorted_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc(k="2")
+        registry.counter("a").inc(k="1")
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "z"]
+        assert list(snapshot["a"]["series"]) == ["{k=1}", "{k=2}"]
+
+    def test_render_text_includes_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc()
+        registry.gauge("g").set(1.0)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text("snap")
+        assert "# snap" in text
+        assert "c (counter)" in text
+        assert "g (gauge)" in text
+        assert "h (histogram)" in text
+        assert "le +Inf: 1" in text

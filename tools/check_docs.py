@@ -1,0 +1,135 @@
+"""Link checker for the repository's Markdown documentation.
+
+Walks every ``*.md`` file in the repository (skipping build/VCS
+directories), extracts inline ``[text](target)`` links, and verifies:
+
+* relative file targets exist on disk;
+* ``#anchor`` fragments — bare or attached to a file target — match a
+  heading in the (target) document, using GitHub's slug rules
+  (lowercase, spaces to hyphens, punctuation dropped);
+* absolute paths and bare ``http(s)``/``mailto`` URLs are left alone
+  (no network access here).
+
+Exit codes mirror ``repro lint``: 0 — every link resolves; 1 — at
+least one broken link (each is printed as ``file:line: problem``).
+
+Usage::
+
+    python tools/check_docs.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+SKIP_DIRS = {".git", ".ruff_cache", "__pycache__", "node_modules",
+             ".pytest_cache", "build", "dist"}
+
+#: inline links, excluding images: [text](target)
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """Every ``*.md`` under ``root``, skipping non-source trees."""
+    found = []
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            found.append(path)
+    return found
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    """Anchor slugs of every heading in ``path`` (fences ignored)."""
+    slugs: Set[str] = set()
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    """Problems for every link in ``path`` that fails to resolve."""
+    problems: List[str] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part.startswith("/"):
+                continue  # absolute: outside the repo's control
+            resolved = (
+                path if not file_part
+                else (path.parent / file_part).resolve()
+            )
+            where = f"{path.relative_to(root)}:{lineno}"
+            if not resolved.exists():
+                problems.append(
+                    f"{where}: broken link {target!r} "
+                    f"(no such file {file_part!r})"
+                )
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in heading_slugs(resolved):
+                    problems.append(
+                        f"{where}: broken anchor {target!r} "
+                        f"(no heading #{anchor} in "
+                        f"{resolved.relative_to(root)})"
+                    )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Check every Markdown file; print problems; return exit code."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent
+    )
+    files = markdown_files(root)
+    problems: List[str] = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_docs: {len(files)} files, "
+        f"{len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
