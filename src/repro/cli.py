@@ -204,35 +204,78 @@ def cmd_lint(args: argparse.Namespace) -> int:
     Exit codes: 0 — no errors (warnings/notes allowed); 1 — at least
     one error-severity finding; 2 — a spec could not be loaded at all.
     """
-    from repro.core.analysis import ALL_CHECKS, Diagnostics, analyze_module
+    from repro.core.analysis import (
+        ALL_CHECKS,
+        CONCURRENCY_CHECKS,
+        Diagnostics,
+        analyze_module,
+        lint_concurrency_spec,
+    )
     from repro.core.analysis.specs import load_lint_targets
     from repro.core.analysis.wfcheck import lint_workflow_spec
     from repro.core.ir.verifier import verify_diagnostics
 
-    unknown = set(args.only or ()) - set(ALL_CHECKS)
+    workflow_checks = ("wf",) + CONCURRENCY_CHECKS
+    known = set(ALL_CHECKS) | set(workflow_checks)
+    selected = set()
+    for entry in args.only or ():
+        for token in entry.split(","):
+            token = token.strip().lower()
+            if token:
+                selected.add(token)
+    unknown = selected - known
     if unknown:
         print(
             f"repro lint: error: unknown check(s) {sorted(unknown)}; "
-            f"choose from {list(ALL_CHECKS)}",
+            f"choose from {sorted(known)}",
             file=sys.stderr,
         )
         return 2
+    module_checks = (
+        selected & set(ALL_CHECKS) if selected else set(ALL_CHECKS)
+    )
+    wf_selected = "wf" in selected if selected else True
+    conc_checks = (
+        selected & set(CONCURRENCY_CHECKS)
+        if selected
+        else set(CONCURRENCY_CHECKS)
+    )
 
     diagnostics = Diagnostics()
     targets = []
     for path in args.paths:
-        targets.extend(load_lint_targets(path, diagnostics))
+        try:
+            targets.extend(load_lint_targets(path, diagnostics))
+        except Exception as exc:  # a bad file must not hide the rest
+            diagnostics.error(
+                "DSL001", f"cannot load spec: {exc}",
+                anchor=path, analysis="loader",
+            )
+    for target in targets:
+        try:
+            if target.kind == "module":
+                if module_checks:
+                    verify_diagnostics(target.module, diagnostics)
+                    analyze_module(
+                        target.module, diagnostics,
+                        checks=sorted(module_checks),
+                    )
+            elif target.kind == "workflow":
+                if wf_selected:
+                    lint_workflow_spec(target.spec, diagnostics)
+                if conc_checks:
+                    lint_concurrency_spec(
+                        target.spec, diagnostics,
+                        checks=sorted(conc_checks),
+                    )
+        except Exception as exc:  # ditto for a crashing analysis
+            diagnostics.error(
+                "DSL001", f"cannot lint target: {exc}",
+                anchor=target.name, analysis="loader",
+            )
     load_failed = any(
         item.analysis == "loader" for item in diagnostics.errors
     )
-    for target in targets:
-        if target.kind == "module":
-            verify_diagnostics(target.module, diagnostics)
-            analyze_module(
-                target.module, diagnostics, checks=args.only or None
-            )
-        elif target.kind == "workflow":
-            lint_workflow_spec(target.spec, diagnostics)
     if args.suppress:
         diagnostics = diagnostics.suppress(args.suppress)
     if args.format == "json":
@@ -247,19 +290,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if diagnostics.has_errors else 0
 
 
+def _print_sanitize_report(tracer, args, header: str) -> int:
+    """Render the happens-before report; returns the exit code."""
+    from repro.sanitize import sanitize_tracer
+
+    findings = sanitize_tracer(tracer)
+    suppress = getattr(args, "suppress", None)
+    if suppress:
+        findings = findings.suppress(suppress)
+    if getattr(args, "format", "text") == "json":
+        print(findings.to_json(indent=2))
+    else:
+        print(findings.render_text(header))
+    return 1 if findings.has_errors else 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Replay a seeded chaos scenario and report the outcome."""
     from repro.obs import observe, session
 
-    if args.trace:
+    obs = None
+    if args.trace or args.sanitize:
         obs = session(deterministic=True)
         with observe(obs):
             graph, schedule, trace, stats = _chaos_run(args)
-        obs.tracer.write(args.trace)
+        if args.trace:
+            obs.tracer.write(args.trace)
     else:
         graph, schedule, trace, stats = _chaos_run(args)
+    sanitize_header = (
+        f"sanitize: chaos graph-seed={args.graph_seed} "
+        f"fault-seed={args.fault_seed}"
+    )
     if args.json:
         print(trace.to_json())
+        if args.sanitize:
+            return _print_sanitize_report(
+                obs.tracer, args, sanitize_header
+            )
         return 0
     table = Table(
         f"chaos run graph-seed={args.graph_seed} "
@@ -286,6 +354,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"replay verified: identical trace ({trace.digest()})")
     if args.trace:
         print(f"chrome trace written to {args.trace}")
+    if args.sanitize:
+        return _print_sanitize_report(obs.tracer, args, sanitize_header)
     return 0
 
 
@@ -314,6 +384,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         run.observation.tracer.write(args.trace)
         print(f"chrome trace written to {args.trace}")
+    if args.sanitize:
+        return _print_sanitize_report(
+            run.observation.tracer, args, f"sanitize: {args.file}"
+        )
     return 0
 
 
@@ -433,7 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--only", action="append", default=[], metavar="CHECK",
-        help="restrict IR checks to taint/partition/lint (repeatable)",
+        help="restrict checks to a comma-separated subset of "
+             "taint/partition/lint (IR) and wf/race/dl (workflow "
+             "specs); repeatable, case-insensitive",
     )
     p_lint.set_defaults(func=cmd_lint)
 
@@ -465,6 +541,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="also export the run's Chrome trace JSON to PATH",
     )
+    p_chaos.add_argument(
+        "--sanitize", action="store_true",
+        help="run the happens-before checker over the traced run; "
+             "exits 1 when it finds unsuppressed races or "
+             "acquire/release imbalances",
+    )
+    p_chaos.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="sanitizer report rendering (default: text)",
+    )
+    p_chaos.add_argument(
+        "--suppress", action="append", default=[], metavar="CODE",
+        help="drop sanitizer findings with this code (repeatable)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_run = sub.add_parser(
@@ -480,6 +570,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace", metavar="PATH", default=None,
         help="also export the run's Chrome trace JSON to PATH",
+    )
+    p_run.add_argument(
+        "--sanitize", action="store_true",
+        help="run the happens-before checker over the traced run; "
+             "exits 1 when it finds unsuppressed races or "
+             "acquire/release imbalances",
+    )
+    p_run.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="sanitizer report rendering (default: text)",
+    )
+    p_run.add_argument(
+        "--suppress", action="append", default=[], metavar="CODE",
+        help="drop sanitizer findings with this code (repeatable)",
     )
     p_run.set_defaults(func=cmd_run)
 

@@ -9,7 +9,9 @@ them:
 * :mod:`.partition` — memory-partition legality and static bounds
   checking for kernel-form functions;
 * :mod:`.lints` — dead values, unreachable blocks, unused functions;
-* :mod:`.wfcheck` — workflow-DAG structural linting.
+* :mod:`.wfcheck` — workflow-DAG structural linting;
+* :mod:`.concurrency` — static race (RACE001-004) and deadlock
+  (DL001-003) detection over workflow plans and resource specs.
 
 :func:`analyze_module` is the one-call entry point used by the
 compiler's pre-DSE gate and the ``repro lint`` CLI.
@@ -36,6 +38,16 @@ from repro.core.analysis.diagnostics import (
     Diagnostics,
     Severity,
     raise_if_errors,
+)
+from repro.core.analysis.concurrency import (
+    CONCURRENCY_CHECKS,
+    ConcurrencyTask,
+    ResourceSpec,
+    analyze_concurrency,
+    check_pipeline_concurrency,
+    check_task_graph_concurrency,
+    concurrency_from_task_graph,
+    lint_concurrency_spec,
 )
 from repro.core.analysis.lints import check_module_lints
 from repro.core.analysis.partition import check_module_partitioning
@@ -89,6 +101,14 @@ __all__ = [
     "ALL_CHECKS",
     "BackwardAnalysis",
     "CODES",
+    "CONCURRENCY_CHECKS",
+    "ConcurrencyTask",
+    "ResourceSpec",
+    "analyze_concurrency",
+    "check_pipeline_concurrency",
+    "check_task_graph_concurrency",
+    "concurrency_from_task_graph",
+    "lint_concurrency_spec",
     "DataflowAnalysis",
     "DataflowState",
     "Diagnostic",

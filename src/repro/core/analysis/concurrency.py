@@ -1,0 +1,595 @@
+"""Static concurrency analysis: races, deadlocks, nondeterminism.
+
+The workflow runtime schedules any tasks with no dependency path
+between them concurrently, so every pair of *unordered* accesses to a
+shared :class:`~repro.workflow.graph.DataObject` is a potential race,
+and every circular resource-acquisition pattern between unordered
+tasks is a potential deadlock. Following the static half of the
+RacerD / ThreadSanitizer split, this module proves hazards *possible*
+over the plan alone; the dynamic half
+(:mod:`repro.sanitize`) confirms them on a concrete schedule.
+
+Race checks (all over the happens-before skeleton induced by
+producer -> consumer dependency edges):
+
+* RACE001 — two unordered tasks both write one object (lost update);
+* RACE002 — a task reads an object an unordered task writes;
+* RACE003 — a task reads several objects that one unordered task
+  writes: even atomic per-object accesses can observe a torn
+  multi-object state;
+* RACE004 — a task declared ``order_sensitive`` consumes the outputs
+  of unordered producers with equal static priority (b-level): the
+  scheduler's tie-break decides the observable result.
+
+Deadlock checks (against declared :class:`ResourceSpec` capacities;
+tasks acquire the units of their ``acquires`` list in order, one unit
+per simulator request, and hold everything until they finish):
+
+* DL001 — the resource-allocation-order graph has a cycle whose edges
+  come from at least two unordered tasks (lock-order inversion);
+* DL002 — a request names an unknown resource or more units than the
+  resource's total capacity: it can never be granted;
+* DL003 — a set of mutually-unordered tasks can each hold part of a
+  resource while waiting for the rest: possible when
+  ``sum(need_i - 1) >= capacity`` (generalized dining philosophers).
+
+Use :func:`analyze_concurrency` over explicit specs,
+:func:`check_task_graph_concurrency` over a built
+:class:`~repro.workflow.graph.TaskGraph`,
+:func:`lint_concurrency_spec` over JSON workflow specs (the ``repro
+lint`` path) and :func:`check_pipeline_concurrency` inside the
+compiler's pre-DSE gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.analysis.diagnostics import Diagnostics
+
+#: Check names accepted by ``analyze_concurrency(checks=...)``.
+CONCURRENCY_CHECKS = ("race", "dl")
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One contended platform resource with a finite capacity."""
+
+    name: str
+    capacity: int = 1
+
+
+@dataclass
+class ConcurrencyTask:
+    """One task as the concurrency analyzer sees it.
+
+    ``reads``/``writes`` are object names; ``updates`` are objects the
+    task reads *and* rewrites in place (so it both depends on the
+    object's producer and conflicts with every other toucher).
+    ``acquires`` is the ordered list of ``(resource, units)``
+    acquisitions the task performs before running.
+    """
+
+    name: str
+    reads: List[str] = field(default_factory=list)
+    writes: List[str] = field(default_factory=list)
+    updates: List[str] = field(default_factory=list)
+    acquires: List[Tuple[str, int]] = field(default_factory=list)
+    duration_s: float = 1e-3
+    order_sensitive: bool = False
+
+    def all_writes(self) -> List[str]:
+        """Objects this task writes (produced or updated in place)."""
+        return list(self.writes) + list(self.updates)
+
+    def all_reads(self) -> List[str]:
+        """Objects this task reads (consumed or updated in place)."""
+        return list(self.reads) + list(self.updates)
+
+
+# ----------------------------------------------------------------------
+# happens-before skeleton
+# ----------------------------------------------------------------------
+
+
+class _Order:
+    """Reachability over the dependency edges of a task set."""
+
+    def __init__(self, tasks: Sequence[ConcurrencyTask]):
+        self.tasks = {task.name: task for task in tasks}
+        producer: Dict[str, str] = {}
+        for task in tasks:
+            for obj in task.writes:
+                producer.setdefault(obj, task.name)
+        edges: Dict[str, Set[str]] = {task.name: set() for task in tasks}
+        for task in tasks:
+            for obj in task.all_reads():
+                upstream = producer.get(obj)
+                if upstream is not None and upstream != task.name:
+                    edges[upstream].add(task.name)
+        self.edges = edges
+        self.producer = producer
+        self._descendants: Dict[str, Set[str]] = {}
+        for name in edges:
+            seen: Set[str] = set()
+            frontier = list(edges[name])
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(edges.get(node, ()))
+            self._descendants[name] = seen
+
+    def ordered(self, a: str, b: str) -> bool:
+        """True when a dependency path orders the two tasks."""
+        return (
+            b in self._descendants.get(a, ())
+            or a in self._descendants.get(b, ())
+        )
+
+    def unordered(self, a: str, b: str) -> bool:
+        """True when the tasks may run concurrently."""
+        return a != b and not self.ordered(a, b)
+
+    def b_levels(self) -> Dict[str, float]:
+        """Static priority: longest downstream path per task."""
+        order: List[str] = []
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            state[node] = 1
+            for successor in sorted(self.edges.get(node, ())):
+                if state.get(successor, 0) == 0:
+                    visit(successor)
+            state[node] = 2
+            order.append(node)
+
+        for name in sorted(self.edges):
+            if state.get(name, 0) == 0:
+                visit(name)
+        levels: Dict[str, float] = {}
+        for name in order:  # reverse-topological emission order
+            consumer_level = max(
+                (levels[successor]
+                 for successor in self.edges.get(name, ())
+                 if successor in levels),
+                default=0.0,
+            )
+            levels[name] = self.tasks[name].duration_s + consumer_level
+        return levels
+
+
+# ----------------------------------------------------------------------
+# race checks
+# ----------------------------------------------------------------------
+
+
+def _check_races(
+    tasks: Sequence[ConcurrencyTask],
+    order: _Order,
+    name: str,
+    diagnostics: Diagnostics,
+) -> None:
+    writers: Dict[str, List[str]] = {}
+    readers: Dict[str, List[str]] = {}
+    for task in tasks:
+        for obj in task.all_writes():
+            writers.setdefault(obj, []).append(task.name)
+        for obj in task.reads:
+            readers.setdefault(obj, []).append(task.name)
+
+    # RACE001: unordered write-write pairs per object.
+    for obj in sorted(writers):
+        names = writers[obj]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if order.unordered(a, b):
+                    first, second = sorted((a, b))
+                    diagnostics.error(
+                        "RACE001",
+                        f"tasks {first!r} and {second!r} both write "
+                        f"{obj!r} with no dependency path between "
+                        f"them: last writer wins",
+                        anchor=f"{name}/{obj}",
+                        analysis="concurrency",
+                    )
+
+    # RACE002: unordered read-write pairs per object.
+    for obj in sorted(writers):
+        for reader in readers.get(obj, ()):
+            task = order.tasks[reader]
+            if obj in task.updates:
+                continue  # updater vs writer is RACE001
+            for writer in writers[obj]:
+                if order.unordered(writer, reader):
+                    diagnostics.error(
+                        "RACE002",
+                        f"task {reader!r} reads {obj!r} while "
+                        f"unordered task {writer!r} writes it",
+                        anchor=f"{name}/{obj}",
+                        analysis="concurrency",
+                    )
+
+    # RACE003: one unordered writer covering >= 2 of a task's reads.
+    for task in sorted(tasks, key=lambda t: t.name):
+        read_set = set(task.reads)
+        for other in sorted(tasks, key=lambda t: t.name):
+            if not order.unordered(task.name, other.name):
+                continue
+            torn = sorted(read_set.intersection(other.all_writes()))
+            if len(torn) >= 2:
+                diagnostics.error(
+                    "RACE003",
+                    f"task {task.name!r} reads {torn} which unordered "
+                    f"task {other.name!r} writes: a torn multi-object "
+                    f"state is observable",
+                    anchor=f"{name}/{task.name}",
+                    analysis="concurrency",
+                )
+
+    # RACE004: order-sensitive consumers of tied unordered producers.
+    levels = order.b_levels()
+    for task in sorted(tasks, key=lambda t: t.name):
+        if not task.order_sensitive:
+            continue
+        producers = sorted({
+            order.producer[obj]
+            for obj in task.all_reads()
+            if obj in order.producer
+            and order.producer[obj] != task.name
+        })
+        for i, a in enumerate(producers):
+            for b in producers[i + 1:]:
+                if (
+                    order.unordered(a, b)
+                    and abs(levels[a] - levels[b]) < 1e-12
+                ):
+                    diagnostics.error(
+                        "RACE004",
+                        f"order-sensitive task {task.name!r} consumes "
+                        f"unordered producers {a!r} and {b!r} with "
+                        f"equal priority: the scheduler tie-break "
+                        f"decides the result",
+                        anchor=f"{name}/{task.name}",
+                        analysis="concurrency",
+                    )
+
+
+# ----------------------------------------------------------------------
+# deadlock checks
+# ----------------------------------------------------------------------
+
+
+def _check_deadlocks(
+    tasks: Sequence[ConcurrencyTask],
+    resources: Sequence[ResourceSpec],
+    order: _Order,
+    name: str,
+    diagnostics: Diagnostics,
+) -> None:
+    capacities = {spec.name: spec.capacity for spec in resources}
+
+    # DL002: unsatisfiable requests.
+    for task in sorted(tasks, key=lambda t: t.name):
+        need: Dict[str, int] = {}
+        for resource, units in task.acquires:
+            need[resource] = need.get(resource, 0) + units
+        for resource in sorted(need):
+            if resource not in capacities:
+                diagnostics.error(
+                    "DL002",
+                    f"task {task.name!r} acquires undeclared resource "
+                    f"{resource!r}: the request can never be granted",
+                    anchor=f"{name}/{task.name}",
+                    analysis="concurrency",
+                )
+            elif need[resource] > capacities[resource]:
+                diagnostics.error(
+                    "DL002",
+                    f"task {task.name!r} needs {need[resource]} units "
+                    f"of {resource!r} but its capacity is "
+                    f"{capacities[resource]}: permanent stall",
+                    anchor=f"{name}/{task.name}",
+                    analysis="concurrency",
+                )
+
+    # DL001: cycles in the resource-allocation-order graph whose edges
+    # come from at least two unordered tasks.
+    order_edges: Dict[str, Set[str]] = {}
+    edge_owners: Dict[Tuple[str, str], Set[str]] = {}
+    for task in tasks:
+        held = [resource for resource, _units in task.acquires]
+        for i, first in enumerate(held):
+            for second in held[i + 1:]:
+                if first == second:
+                    continue
+                order_edges.setdefault(first, set()).add(second)
+                order_edges.setdefault(second, set())
+                edge_owners.setdefault(
+                    (first, second), set()
+                ).add(task.name)
+    cycle = _find_cycle(order_edges)
+    if cycle:
+        owners: Set[str] = set()
+        for first, second in zip(cycle, cycle[1:]):
+            owners.update(edge_owners.get((first, second), ()))
+        owner_list = sorted(owners)
+        concurrent = any(
+            order.unordered(a, b)
+            for i, a in enumerate(owner_list)
+            for b in owner_list[i + 1:]
+        )
+        if concurrent:
+            rendered = " -> ".join(cycle)
+            diagnostics.error(
+                "DL001",
+                f"resource acquisition order {rendered} is circular "
+                f"between concurrent tasks {owner_list}: lock-order "
+                f"inversion can deadlock",
+                anchor=f"{name}/{cycle[0]}",
+                analysis="concurrency",
+            )
+
+    # DL003: incremental multi-unit exhaustion per resource. A set S
+    # of mutually-unordered tasks deadlocks when every unit can be
+    # held by a task that still waits: sum(need - 1) >= capacity.
+    for resource in sorted(capacities):
+        capacity = capacities[resource]
+        claimants: List[Tuple[str, int]] = []
+        for task in sorted(tasks, key=lambda t: t.name):
+            need = sum(
+                units for res, units in task.acquires
+                if res == resource
+            )
+            if need >= 2 and need <= capacity:
+                claimants.append((task.name, need))
+        hazard = _hold_wait_set(claimants, capacity, order)
+        if hazard:
+            names_, needs = zip(*hazard)
+            diagnostics.error(
+                "DL003",
+                f"concurrent tasks {list(names_)} need "
+                f"{list(needs)} units of {resource!r} "
+                f"(capacity {capacity}) acquired incrementally: "
+                f"partial grants can strand every holder waiting",
+                anchor=f"{name}/{resource}",
+                analysis="concurrency",
+            )
+
+
+def _hold_wait_set(
+    claimants: List[Tuple[str, int]],
+    capacity: int,
+    order: _Order,
+) -> List[Tuple[str, int]]:
+    """Smallest-first set of mutually-unordered claimants that can
+    strand the resource (``sum(need - 1) >= capacity``), or []."""
+    # pairwise first: the most common and easiest-to-explain case
+    for i, (a, need_a) in enumerate(claimants):
+        for b, need_b in claimants[i + 1:]:
+            if (
+                order.unordered(a, b)
+                and (need_a - 1) + (need_b - 1) >= capacity
+            ):
+                return [(a, need_a), (b, need_b)]
+    # greedy antichain for larger sets
+    chosen: List[Tuple[str, int]] = []
+    for name, need in claimants:
+        if all(order.unordered(name, other) for other, _ in chosen):
+            chosen.append((name, need))
+    if (
+        len(chosen) >= 2
+        and sum(need - 1 for _, need in chosen) >= capacity
+    ):
+        return chosen
+    return []
+
+
+def _find_cycle(edges: Dict[str, Set[str]]) -> List[str]:
+    """First cycle in a digraph as ``[n0, n1, ..., n0]`` (or [])."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    stack: List[str] = []
+
+    def visit(node: str) -> Optional[List[str]]:
+        color[node] = GRAY
+        stack.append(node)
+        for successor in sorted(edges.get(node, ())):
+            if color.get(successor, WHITE) == GRAY:
+                start = stack.index(successor)
+                return stack[start:] + [successor]
+            if color.get(successor, WHITE) == WHITE:
+                found = visit(successor)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return []
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def analyze_concurrency(
+    tasks: Sequence[ConcurrencyTask],
+    resources: Sequence[ResourceSpec] = (),
+    name: str = "workflow",
+    diagnostics: Optional[Diagnostics] = None,
+    checks: Optional[Iterable[str]] = None,
+) -> Diagnostics:
+    """Run the race and deadlock checks; returns the diagnostics.
+
+    ``checks`` restricts the run to a subset of
+    :data:`CONCURRENCY_CHECKS` (``race``, ``dl``).
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    selected = (
+        set(checks) if checks is not None else set(CONCURRENCY_CHECKS)
+    )
+    unknown = selected - set(CONCURRENCY_CHECKS)
+    if unknown:
+        raise ValueError(
+            f"unknown concurrency checks {sorted(unknown)}; expected a "
+            f"subset of {list(CONCURRENCY_CHECKS)}"
+        )
+    order = _Order(tasks)
+    if "race" in selected:
+        _check_races(tasks, order, name, diagnostics)
+    if "dl" in selected:
+        _check_deadlocks(tasks, resources, order, name, diagnostics)
+    return diagnostics
+
+
+def concurrency_from_task_graph(graph) -> List[ConcurrencyTask]:
+    """View a built :class:`~repro.workflow.graph.TaskGraph` as
+    concurrency tasks; per-task ``acquires`` / ``order_sensitive``
+    come from ``WorkflowTask.constraints``."""
+    tasks: List[ConcurrencyTask] = []
+    for task in graph.tasks.values():
+        acquires = [
+            (str(resource), int(units))
+            for resource, units in task.constraints.get("acquires", ())
+        ]
+        tasks.append(ConcurrencyTask(
+            name=task.name,
+            reads=list(task.inputs),
+            writes=list(task.outputs),
+            updates=list(getattr(task, "updates", ())),
+            acquires=acquires,
+            duration_s=task.duration_s,
+            order_sensitive=bool(
+                task.constraints.get("order_sensitive", False)
+            ),
+        ))
+    return tasks
+
+
+def check_task_graph_concurrency(
+    graph,
+    resources: Sequence[ResourceSpec] = (),
+    diagnostics: Optional[Diagnostics] = None,
+    checks: Optional[Iterable[str]] = None,
+) -> Diagnostics:
+    """Concurrency-lint a built task graph."""
+    return analyze_concurrency(
+        concurrency_from_task_graph(graph),
+        resources,
+        name=getattr(graph, "name", "workflow"),
+        diagnostics=diagnostics,
+        checks=checks,
+    )
+
+
+def _acquires_from_spec(entries) -> List[Tuple[str, int]]:
+    acquires: List[Tuple[str, int]] = []
+    for entry in entries or ():
+        if isinstance(entry, dict):
+            acquires.append((
+                str(entry.get("resource", "")),
+                int(entry.get("units", 1)),
+            ))
+        else:
+            resource, units = entry[0], (
+                entry[1] if len(entry) > 1 else 1
+            )
+            acquires.append((str(resource), int(units)))
+    return acquires
+
+
+def lint_concurrency_spec(
+    spec: Dict,
+    diagnostics: Optional[Diagnostics] = None,
+    checks: Optional[Iterable[str]] = None,
+) -> Diagnostics:
+    """Concurrency-lint a JSON-style workflow description.
+
+    Beyond the shape :func:`~repro.core.analysis.wfcheck.
+    lint_workflow_spec` accepts, tasks may declare ``updates`` (object
+    names rewritten in place), ``acquires`` (ordered
+    ``[["resource", units], ...]`` or ``[{"resource": ..., "units":
+    ...}]``) and ``order_sensitive``; a top-level ``resources`` list
+    (``[{"name": ..., "capacity": ...}]``) declares capacities.
+    """
+    tasks = [
+        ConcurrencyTask(
+            name=str(entry.get("name", f"task{index}")),
+            reads=[str(item) for item in entry.get("inputs", [])],
+            writes=[str(item) for item in entry.get("outputs", [])],
+            updates=[str(item) for item in entry.get("updates", [])],
+            acquires=_acquires_from_spec(entry.get("acquires")),
+            duration_s=float(entry.get("duration_s", 1e-3)),
+            order_sensitive=bool(entry.get("order_sensitive", False)),
+        )
+        for index, entry in enumerate(spec.get("tasks", []))
+    ]
+    resources = [
+        ResourceSpec(
+            name=str(entry.get("name", f"r{index}")),
+            capacity=int(entry.get("capacity", 1)),
+        )
+        for index, entry in enumerate(spec.get("resources", []))
+    ]
+    return analyze_concurrency(
+        tasks,
+        resources,
+        name=str(spec.get("name", "workflow")),
+        diagnostics=diagnostics,
+        checks=checks,
+    )
+
+
+def check_pipeline_concurrency(
+    pipeline,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Concurrency-lint a DSL :class:`~repro.core.dsl.workflow.
+    Pipeline` (the compiler's pre-DSE gate).
+
+    Pipeline dataflow is pure (every task writes fresh outputs), so a
+    defect here means duplicated output wiring or an ordering hazard
+    introduced by hand-built pipelines.
+    """
+    tasks: List[ConcurrencyTask] = []
+    for task in pipeline.tasks:
+        reads: List[str] = []
+        for value in task.inputs:
+            if hasattr(value, "task"):  # TaskOutput
+                reads.append(f"{value.task.name}.{value.index}")
+            else:  # Source
+                reads.append(value.name)
+        writes = sorted({
+            f"{task.name}.{consumer_input.index}"
+            for other in pipeline.tasks
+            for consumer_input in other.inputs
+            if hasattr(consumer_input, "task")
+            and consumer_input.task is task
+        } | {
+            f"{task.name}.{sink.value.index}"
+            for sink in pipeline.sinks
+            if hasattr(sink.value, "task") and sink.value.task is task
+        })
+        tasks.append(ConcurrencyTask(
+            name=task.name, reads=reads, writes=writes,
+        ))
+    return analyze_concurrency(
+        tasks, name=pipeline.name, diagnostics=diagnostics,
+    )

@@ -71,6 +71,26 @@ CODES: Dict[str, str] = {
     # pass pipeline
     "PM001": "module became invalid after a pass",
     "PM002": "analysis found errors after a pass",
+    # static concurrency: data races
+    "RACE001": "unordered tasks both write the same data object",
+    "RACE002": "task reads an object an unordered task writes",
+    "RACE003": "torn read: task reads several objects one unordered "
+               "task writes",
+    "RACE004": "order-sensitive task consumes unordered equal-priority "
+               "producers",
+    # static concurrency: deadlocks
+    "DL001": "resource acquisition order forms a cycle between "
+             "concurrent tasks",
+    "DL002": "resource request can never be granted",
+    "DL003": "concurrent incremental requests can exhaust a resource "
+             "with every holder still waiting",
+    # platform simulator runtime diagnostics
+    "SIM001": "resource released without a matching request",
+    "SIM002": "simulation drained with an unfinished process (deadlock)",
+    # dynamic happens-before sanitizer
+    "SAN001": "two concurrent writes to the same object observed",
+    "SAN002": "concurrent read and write of the same object observed",
+    "SAN003": "resource acquire/release imbalance observed",
 }
 
 

@@ -106,8 +106,15 @@ def load_lint_targets(
         )
         return targets
 
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        diagnostics.error(
+            "DSL001", f"cannot read spec: {exc}",
+            anchor=path, analysis="loader",
+        )
+        return targets
 
     if path.endswith(".edsl"):
         target = _load_module_target(path, text, diagnostics)

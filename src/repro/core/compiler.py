@@ -18,7 +18,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.core.analysis import analyze_module
+from repro.core.analysis import analyze_module, check_pipeline_concurrency
 from repro.core.analysis.diagnostics import Diagnostics, raise_if_errors
 from repro.core.backend.binary import Artifact, SoftwareBinary
 from repro.core.backend.packaging import VariantPackage
@@ -113,6 +113,7 @@ class EverestCompiler:
                 with tracer.span("static-checks",
                                  category=COMPILE_CATEGORY) as span:
                     analyze_module(module, diagnostics)
+                    check_pipeline_concurrency(pipeline, diagnostics)
                     span.note(findings=len(diagnostics.items))
                 raise_if_errors(diagnostics, AnalysisError)
 

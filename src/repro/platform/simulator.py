@@ -28,6 +28,28 @@ from repro.utils.validation import check_non_negative, check_positive
 RESOURCE_CATEGORY = "platform.resource"
 
 
+def _diagnosed_error(code: str, message: str, anchor: str
+                     ) -> PlatformError:
+    """A :class:`PlatformError` carrying a SIM00x diagnostic.
+
+    The exception type and message stay what they always were; the
+    attached ``diagnostics`` collection gives tooling the stable code
+    and anchor (same contract as :func:`~repro.core.analysis.
+    diagnostics.raise_if_errors`).
+    """
+    # imported lazily: the simulator must stay importable without
+    # pulling the whole analysis stack in
+    from repro.core.analysis.diagnostics import Diagnostics
+
+    diagnostics = Diagnostics()
+    diagnostics.error(
+        code, message, anchor=anchor, analysis="simulator"
+    )
+    exc = PlatformError(message)
+    exc.diagnostics = diagnostics
+    return exc
+
+
 class Event:
     """A one-shot event processes can wait on.
 
@@ -152,8 +174,10 @@ class SimResource:
     def release(self) -> None:
         """Return one unit; wakes the head of the queue if any."""
         if self.in_use <= 0:
-            raise PlatformError(
-                f"release of {self.name!r} without matching request"
+            raise _diagnosed_error(
+                "SIM001",
+                f"release of {self.name!r} without matching request",
+                anchor=self.name,
             )
         self.in_use -= 1
         if self._queue:
@@ -240,9 +264,11 @@ class Simulator:
         process = self.process(gen, name)
         self.run()
         if not process.finished:
-            raise PlatformError(
+            raise _diagnosed_error(
+                "SIM002",
                 f"process {process.name!r} deadlocked "
-                f"(simulation drained at t={self.now})"
+                f"(simulation drained at t={self.now})",
+                anchor=process.name,
             )
         return process.result
 

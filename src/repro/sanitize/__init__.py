@@ -1,0 +1,22 @@
+"""Dynamic happens-before trace sanitizer (the TSan half).
+
+:mod:`repro.core.analysis.concurrency` proves races and deadlocks
+*possible* from the plan; this package confirms them on a concrete
+traced schedule. Feed any :class:`~repro.obs.tracer.Tracer` that
+observed a workflow run to :func:`sanitize_tracer` — or pass
+``--sanitize`` to ``repro run`` / ``repro chaos`` — and conflicting
+accesses come back as SAN001-003 diagnostics with the same
+suppression and ``--format json`` conventions as ``repro lint``.
+"""
+
+from repro.sanitize.checker import (
+    HappensBeforeChecker,
+    sanitize_tracer,
+)
+from repro.sanitize.vclock import VectorClock
+
+__all__ = [
+    "HappensBeforeChecker",
+    "VectorClock",
+    "sanitize_tracer",
+]

@@ -1,0 +1,56 @@
+"""Vector clocks for the happens-before trace sanitizer.
+
+A :class:`VectorClock` maps a task name to the number of that task's
+attempts known to have happened before the carrier. Clocks are
+immutable-by-convention: callers :meth:`copy` before mutating, so one
+attempt's clock can be joined into many successors safely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class VectorClock:
+    """A task-name -> attempt-count logical clock."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Dict[str, int] = None):
+        self.components: Dict[str, int] = dict(components or {})
+
+    def copy(self) -> "VectorClock":
+        """Independent clone of this clock."""
+        return VectorClock(self.components)
+
+    def tick(self, task: str, attempt: int) -> "VectorClock":
+        """Advance the carrier task's own component; returns self."""
+        self.components[task] = max(
+            self.components.get(task, 0), attempt
+        )
+        return self
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum with ``other``; returns self."""
+        for task, count in other.components.items():
+            if count > self.components.get(task, 0):
+                self.components[task] = count
+        return self
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when every component of ``other`` is <= ours."""
+        return all(
+            count <= self.components.get(task, 0)
+            for task, count in other.components.items()
+        )
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """True when neither clock happens-before the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{task}:{count}"
+            for task, count in sorted(self.components.items())
+        )
+        return f"VC({inner})"

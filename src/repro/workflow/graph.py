@@ -37,6 +37,10 @@ class WorkflowTask:
     name: str
     inputs: List[str] = field(default_factory=list)
     outputs: List[str] = field(default_factory=list)
+    #: objects read *and* rewritten in place: the task depends on the
+    #: object's producer, but is unordered w.r.t. other updaters and
+    #: readers — a hazard the concurrency analyzer reports (RACE00x)
+    updates: List[str] = field(default_factory=list)
     duration_s: float = 1e-3  # nominal duration on a reference core
     cpus: int = 1
     kernel: str = ""  # optional compiled-kernel binding
@@ -75,6 +79,12 @@ class TaskGraph:
                     f"task {task.name!r}: unknown input object "
                     f"{input_name!r}"
                 )
+        for updated_name in task.updates:
+            if updated_name not in self.objects:
+                raise WorkflowError(
+                    f"task {task.name!r}: unknown updated object "
+                    f"{updated_name!r}"
+                )
         for output_name in task.outputs:
             if output_name in self.objects:
                 raise WorkflowError(
@@ -100,19 +110,24 @@ class TaskGraph:
         """Names of tasks that must finish before this one starts."""
         task = self.tasks[task_name]
         result = []
-        for input_name in task.inputs:
+        for input_name in list(task.inputs) + list(task.updates):
             producer = self.objects[input_name].producer
-            if producer is not None and producer not in result:
+            if (
+                producer is not None
+                and producer != task_name
+                and producer not in result
+            ):
                 result.append(producer)
         return result
 
     def consumers(self, task_name: str) -> List[str]:
-        """Tasks consuming any output of the given task."""
+        """Tasks consuming or updating any output of the given task."""
         outputs = set(self.tasks[task_name].outputs)
         return [
             other.name
             for other in self.tasks.values()
             if outputs.intersection(other.inputs)
+            or outputs.intersection(other.updates)
         ]
 
     def to_networkx(self) -> nx.DiGraph:

@@ -49,6 +49,7 @@ from repro.platform.topology import Ecosystem
 from repro.workflow.graph import TaskGraph
 from repro.workflow.scheduler import BLevelScheduler, SchedulerPolicy
 from repro.workflow.server import (
+    RESOURCE_EVENT_CATEGORY,
     SCHED_CATEGORY,
     TRANSFER_CATEGORY,
     make_sim_tracer,
@@ -284,6 +285,14 @@ class ResilientServer:
                 "workflow.recoveries", "recovery actions taken",
             ).inc(action=action)
 
+        def resource_event(op: str, worker: Worker, units: int) -> None:
+            events.instant(
+                f"{op}:{worker.name}",
+                category=RESOURCE_EVENT_CATEGORY, track=worker.name,
+                op=op, resource=worker.name, units=units,
+                capacity=worker.cpus,
+            )
+
         locations: Dict[str, str] = {}
         homes: Dict[str, str] = {}
         for obj in graph.external_inputs():
@@ -330,9 +339,12 @@ class ResilientServer:
             if deps_satisfied(task_name):
                 mark_ready(task_name)
 
+        def staged_objects(task) -> List[str]:
+            return list(task.inputs) + list(task.updates)
+
         def transfer_cost(task_name: str, worker: Worker) -> float:
             total = 0.0
-            for input_name in graph.tasks[task_name].inputs:
+            for input_name in staged_objects(graph.tasks[task_name]):
                 if worker.holds(input_name):
                     continue
                 source = locations.get(input_name)
@@ -365,6 +377,7 @@ class ResilientServer:
             running.pop(task_name, None)
             if alive:
                 worker.release(task.cpus)
+                resource_event("release", worker, task.cpus)
             stats.tasks_requeued += 1
             attempts[task_name] = attempts.get(task_name, 0) + 1
             attempt = attempts[task_name]
@@ -406,7 +419,7 @@ class ResilientServer:
                     and incarnations[worker.name] == epoch
                 )
 
-            for input_name in task.inputs:
+            for input_name in staged_objects(task):
                 if worker.holds(input_name):
                     continue
                 source = locations.get(input_name)
@@ -483,7 +496,8 @@ class ResilientServer:
             worker.busy_seconds += task.duration_s * task.cpus
             worker.tasks_executed += 1
             worker.release(task.cpus)
-            for output_name in task.outputs:
+            resource_event("release", worker, task.cpus)
+            for output_name in list(task.outputs) + list(task.updates):
                 locations[output_name] = worker.name
                 worker.store.add(output_name)
             finished.add(task_name)
@@ -492,6 +506,8 @@ class ResilientServer:
                 track=worker.name, task=task_name, worker=worker.name,
                 ready_at=start_ready, start=start, end=sim.now,
                 transfer_seconds=staging, bytes_moved=moved,
+                reads=staged_objects(task),
+                writes=list(task.outputs) + list(task.updates),
             )
             metrics.counter(
                 "workflow.tasks_executed",
@@ -551,6 +567,7 @@ class ResilientServer:
             slots, and (for crashes) recover the lost objects."""
             self._failed.add(victim.name)
             incarnations[victim.name] += 1
+            resource_event("reset", victim, 0)
             if not lose_store:
                 victim.busy_cpus = 0
                 return
@@ -729,6 +746,10 @@ class ResilientServer:
                             category=SCHED_CATEGORY, track="scheduler",
                         )
                         worker.acquire(graph.tasks[task_name].cpus)
+                        resource_event(
+                            "request", worker,
+                            graph.tasks[task_name].cpus,
+                        )
                         running[task_name] = worker
                         sim.process(
                             run_task(task_name, worker),

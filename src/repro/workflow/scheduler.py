@@ -8,6 +8,17 @@ that claim testable, three policies share one interface:
 * :class:`FIFOScheduler` — arrival order, first free worker (baseline);
 * :class:`BLevelScheduler` — critical-path-first;
 * :class:`LocalityScheduler` — minimize input movement, b-level tie-break.
+
+**Tie-break contract**: equal-priority ready tasks dispatch in
+ready-queue insertion order (the servers append tasks as they become
+ready, in topological order at start and completion order after), and
+every policy sorts with Python's stable sort — so identical runs
+dispatch ties identically. This pinned determinism is what makes
+chaos replays and sanitizer reports byte-identical; it is also why an
+``order_sensitive`` task consuming equal-b-level unordered producers
+is only a *hazard* (RACE004) rather than observed flakiness: the
+nondeterminism surfaces when task durations or the worker pool
+change, not between replays.
 """
 
 from __future__ import annotations

@@ -35,6 +35,8 @@ from repro.workflow.worker import Worker
 #: Tracer categories for the extra (non-ExecutionTrace) detail.
 TRANSFER_CATEGORY = "workflow.transfer"
 SCHED_CATEGORY = "workflow.sched"
+#: Worker-slot request/release instants consumed by repro.sanitize.
+RESOURCE_EVENT_CATEGORY = "workflow.resource"
 
 
 def make_sim_tracer(sim: Simulator, graph_name: str) -> Tracer:
@@ -137,9 +139,19 @@ class WorkflowServer:
         finished: List[str] = []
         wake = {"event": sim.event()}
 
+        def resource_event(op: str, worker: Worker, units: int):
+            events.instant(
+                f"{op}:{worker.name}", category=RESOURCE_EVENT_CATEGORY,
+                track=worker.name, op=op, resource=worker.name,
+                units=units, capacity=worker.cpus,
+            )
+
+        def staged_objects(task) -> List[str]:
+            return list(task.inputs) + list(task.updates)
+
         def transfer_cost(task_name: str, worker: Worker) -> float:
             total = 0.0
-            for input_name in graph.tasks[task_name].inputs:
+            for input_name in staged_objects(graph.tasks[task_name]):
                 if worker.holds(input_name):
                     continue
                 source = locations.get(input_name)
@@ -159,7 +171,7 @@ class WorkflowServer:
             start = sim.now
             staging = 0.0
             moved = 0
-            for input_name in task.inputs:
+            for input_name in staged_objects(task):
                 if worker.holds(input_name):
                     continue
                 source = locations[input_name]
@@ -184,15 +196,18 @@ class WorkflowServer:
             yield sim.timeout(duration)
             worker.busy_seconds += duration * task.cpus
             worker.tasks_executed += 1
-            for output_name in task.outputs:
+            for output_name in list(task.outputs) + list(task.updates):
                 locations[output_name] = worker.name
                 worker.store.add(output_name)
             worker.release(task.cpus)
+            resource_event("release", worker, task.cpus)
             events.complete(
                 task_name, start, sim.now, category=TASK_CATEGORY,
                 track=worker.name, task=task_name, worker=worker.name,
                 ready_at=start_ready, start=start, end=sim.now,
                 transfer_seconds=staging, bytes_moved=moved,
+                reads=staged_objects(task),
+                writes=list(task.outputs) + list(task.updates),
             )
             metrics.counter(
                 "workflow.tasks_executed",
@@ -230,6 +245,10 @@ class WorkflowServer:
                             category=SCHED_CATEGORY, track="scheduler",
                         )
                         worker.acquire(graph.tasks[task_name].cpus)
+                        resource_event(
+                            "request", worker,
+                            graph.tasks[task_name].cpus,
+                        )
                         sim.process(
                             run_task(task_name, worker),
                             name=f"task:{task_name}",

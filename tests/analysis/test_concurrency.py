@@ -1,0 +1,330 @@
+"""Static concurrency analyzer: RACE001-004 / DL001-003."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.analysis import (
+    ConcurrencyTask,
+    Diagnostics,
+    ResourceSpec,
+    analyze_concurrency,
+    check_task_graph_concurrency,
+    lint_concurrency_spec,
+)
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def codes(diagnostics):
+    return sorted({item.code for item in diagnostics})
+
+
+class TestRaces:
+    def test_unordered_writers_are_race001(self):
+        diags = analyze_concurrency([
+            ConcurrencyTask("produce", writes=["acc"]),
+            ConcurrencyTask("upd_a", updates=["acc"]),
+            ConcurrencyTask("upd_b", updates=["acc"]),
+        ])
+        assert codes(diags) == ["RACE001"]
+        assert "upd_a" in diags.items[0].message
+        assert "upd_b" in diags.items[0].message
+
+    def test_ordered_writers_are_clean(self):
+        # chain: produce -> refine (reads acc, writes refined)
+        diags = analyze_concurrency([
+            ConcurrencyTask("produce", writes=["acc"]),
+            ConcurrencyTask("refine", reads=["acc"],
+                            writes=["refined"]),
+        ])
+        assert len(diags) == 0
+
+    def test_reader_vs_unordered_writer_is_race002(self):
+        diags = analyze_concurrency([
+            ConcurrencyTask("produce", writes=["acc"]),
+            ConcurrencyTask("upd", updates=["acc"]),
+            ConcurrencyTask("read", reads=["acc"]),
+        ])
+        assert codes(diags) == ["RACE002"]
+
+    def test_torn_multi_object_read_is_race003(self):
+        diags = analyze_concurrency([
+            ConcurrencyTask("produce", writes=["left", "right"]),
+            ConcurrencyTask("rebalance", updates=["left", "right"]),
+            ConcurrencyTask("snapshot", reads=["left", "right"]),
+        ])
+        assert "RACE003" in codes(diags)
+        torn = [i for i in diags if i.code == "RACE003"]
+        assert len(torn) == 1
+        assert "snapshot" in torn[0].message
+
+    def test_order_sensitive_tie_is_race004(self):
+        diags = analyze_concurrency([
+            ConcurrencyTask("p1", writes=["x"], duration_s=1.0),
+            ConcurrencyTask("p2", writes=["y"], duration_s=1.0),
+            ConcurrencyTask("merge", reads=["x", "y"],
+                            order_sensitive=True),
+        ])
+        assert codes(diags) == ["RACE004"]
+
+    def test_unequal_priorities_silence_race004(self):
+        diags = analyze_concurrency([
+            ConcurrencyTask("p1", writes=["x"], duration_s=1.0),
+            ConcurrencyTask("p2", writes=["y"], duration_s=2.0),
+            ConcurrencyTask("merge", reads=["x", "y"],
+                            order_sensitive=True),
+        ])
+        assert len(diags) == 0
+
+    def test_order_insensitive_merge_is_clean(self):
+        diags = analyze_concurrency([
+            ConcurrencyTask("p1", writes=["x"], duration_s=1.0),
+            ConcurrencyTask("p2", writes=["y"], duration_s=1.0),
+            ConcurrencyTask("merge", reads=["x", "y"]),
+        ])
+        assert len(diags) == 0
+
+
+class TestDeadlocks:
+    def test_lock_order_inversion_is_dl001(self):
+        diags = analyze_concurrency(
+            [
+                ConcurrencyTask("t1", acquires=[("r1", 1), ("r2", 1)]),
+                ConcurrencyTask("t2", acquires=[("r2", 1), ("r1", 1)]),
+            ],
+            [ResourceSpec("r1"), ResourceSpec("r2")],
+        )
+        assert codes(diags) == ["DL001"]
+
+    def test_consistent_order_is_clean(self):
+        diags = analyze_concurrency(
+            [
+                ConcurrencyTask("t1", acquires=[("r1", 1), ("r2", 1)]),
+                ConcurrencyTask("t2", acquires=[("r1", 1), ("r2", 1)]),
+            ],
+            [ResourceSpec("r1"), ResourceSpec("r2")],
+        )
+        assert len(diags) == 0
+
+    def test_ordered_tasks_do_not_deadlock(self):
+        # t2 depends on t1, so the inverted order can never interleave
+        diags = analyze_concurrency(
+            [
+                ConcurrencyTask("t1", writes=["x"],
+                                acquires=[("r1", 1), ("r2", 1)]),
+                ConcurrencyTask("t2", reads=["x"],
+                                acquires=[("r2", 1), ("r1", 1)]),
+            ],
+            [ResourceSpec("r1"), ResourceSpec("r2")],
+        )
+        assert len(diags) == 0
+
+    def test_overcapacity_request_is_dl002(self):
+        diags = analyze_concurrency(
+            [ConcurrencyTask("greedy", acquires=[("r", 3)])],
+            [ResourceSpec("r", 2)],
+        )
+        assert codes(diags) == ["DL002"]
+
+    def test_unknown_resource_is_dl002(self):
+        diags = analyze_concurrency(
+            [ConcurrencyTask("ghostly", acquires=[("phantom", 1)])],
+        )
+        assert codes(diags) == ["DL002"]
+
+    def test_hold_and_wait_exhaustion_is_dl003(self):
+        diags = analyze_concurrency(
+            [
+                ConcurrencyTask("left", acquires=[("pool", 2)]),
+                ConcurrencyTask("right", acquires=[("pool", 2)]),
+            ],
+            [ResourceSpec("pool", 2)],
+        )
+        assert codes(diags) == ["DL003"]
+
+    def test_ample_capacity_is_clean(self):
+        diags = analyze_concurrency(
+            [
+                ConcurrencyTask("left", acquires=[("pool", 2)]),
+                ConcurrencyTask("right", acquires=[("pool", 2)]),
+            ],
+            [ResourceSpec("pool", 4)],
+        )
+        assert len(diags) == 0
+
+    def test_ordered_claimants_cannot_exhaust(self):
+        diags = analyze_concurrency(
+            [
+                ConcurrencyTask("left", writes=["x"],
+                                acquires=[("pool", 2)]),
+                ConcurrencyTask("right", reads=["x"],
+                                acquires=[("pool", 2)]),
+            ],
+            [ResourceSpec("pool", 2)],
+        )
+        assert len(diags) == 0
+
+    def test_checks_filter(self):
+        tasks = [
+            ConcurrencyTask("produce", writes=["acc"]),
+            ConcurrencyTask("upd_a", updates=["acc"]),
+            ConcurrencyTask("upd_b", updates=["acc"]),
+            ConcurrencyTask("greedy", acquires=[("r", 3)]),
+        ]
+        race_only = analyze_concurrency(
+            tasks, [ResourceSpec("r", 2)], checks=["race"]
+        )
+        dl_only = analyze_concurrency(
+            tasks, [ResourceSpec("r", 2)], checks=["dl"]
+        )
+        assert codes(race_only) == ["RACE001"]
+        assert codes(dl_only) == ["DL002"]
+        with pytest.raises(ValueError):
+            analyze_concurrency(tasks, checks=["bogus"])
+
+
+class TestAdapters:
+    def test_task_graph_adapter_sees_updates_and_constraints(self):
+        graph = TaskGraph("adapter")
+        graph.add_object(DataObject("seed"))
+        graph.add_task(WorkflowTask(
+            "produce", inputs=["seed"], outputs=["acc"],
+        ))
+        graph.add_task(WorkflowTask("upd_a", updates=["acc"]))
+        graph.add_task(WorkflowTask(
+            "upd_b", updates=["acc"],
+            constraints={"acquires": [("role", 3)]},
+        ))
+        diags = check_task_graph_concurrency(
+            graph, [ResourceSpec("role", 2)]
+        )
+        assert codes(diags) == ["DL002", "RACE001"]
+
+    def test_spec_adapter_accepts_dict_acquires(self):
+        diags = lint_concurrency_spec({
+            "name": "spec",
+            "resources": [{"name": "role", "capacity": 2}],
+            "tasks": [
+                {"name": "greedy",
+                 "acquires": [{"resource": "role", "units": 3}]},
+            ],
+        })
+        assert codes(diags) == ["DL002"]
+
+    def test_diagnostics_carry_analysis_and_anchor(self):
+        diags = Diagnostics()
+        analyze_concurrency(
+            [
+                ConcurrencyTask("produce", writes=["acc"]),
+                ConcurrencyTask("upd_a", updates=["acc"]),
+                ConcurrencyTask("upd_b", updates=["acc"]),
+            ],
+            name="wf",
+            diagnostics=diags,
+        )
+        item = diags.items[0]
+        assert item.analysis == "concurrency"
+        assert item.anchor == "wf/acc"
+
+
+class TestGraphUpdates:
+    def test_updater_depends_on_producer(self):
+        graph = TaskGraph("deps")
+        graph.add_object(DataObject("seed"))
+        graph.add_task(WorkflowTask(
+            "produce", inputs=["seed"], outputs=["acc"],
+        ))
+        graph.add_task(WorkflowTask("upd", updates=["acc"]))
+        assert graph.dependencies("upd") == ["produce"]
+        assert "upd" in graph.consumers("produce")
+
+    def test_unknown_update_object_rejected(self):
+        from repro.errors import WorkflowError
+
+        graph = TaskGraph("deps")
+        with pytest.raises(WorkflowError, match="unknown updated"):
+            graph.add_task(WorkflowTask("upd", updates=["ghost"]))
+
+
+class TestCompilerGate:
+    def test_clean_pipeline_compiles(self):
+        from repro.core.compiler import EverestCompiler
+        from repro.core.dsl.workflow import Pipeline
+        from repro.core.ir import F32, TensorType
+
+        source = """
+        kernel smooth(X: tensor<16xf32>) -> tensor<16xf32> {
+          Y = relu(X)
+          return Y
+        }
+        """
+        pipeline = Pipeline("gate")
+        src = pipeline.source("x", TensorType((16,), F32))
+        task = pipeline.task("stage", source, inputs=[src],
+                             kernel="smooth")
+        pipeline.sink("out", task.output(0))
+        app = EverestCompiler(emit_artifacts=False).compile(pipeline)
+        assert not app.diagnostics.has_errors
+
+    def test_pipeline_concurrency_gate_runs_clean(self):
+        from repro.core.analysis import check_pipeline_concurrency
+        from repro.core.dsl.workflow import Pipeline
+        from repro.core.ir import F32, TensorType
+
+        pipeline = Pipeline("gate2")
+        src = pipeline.source("x", TensorType((16,), F32))
+        task = pipeline.task("stage", "kernel k() -> f32 {}",
+                             inputs=[src])
+        pipeline.sink("out", task.output(0))
+        diags = check_pipeline_concurrency(pipeline)
+        assert len(diags) == 0
+
+
+class TestLintCLIConcurrency:
+    @pytest.mark.parametrize(
+        "fixture,code",
+        [
+            ("conc_race_ww.json", "RACE001"),
+            ("conc_race_rw.json", "RACE002"),
+            ("conc_race_torn.json", "RACE003"),
+            ("conc_race_tie.json", "RACE004"),
+            ("conc_dl_order.json", "DL001"),
+            ("conc_dl_capacity.json", "DL002"),
+            ("conc_dl_holdwait.json", "DL003"),
+        ],
+    )
+    def test_fixture_true_positive(self, capsys, fixture, code):
+        path = os.path.join(FIXTURES, fixture)
+        assert main(["lint", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        found = {item["code"] for item in payload["diagnostics"]}
+        assert code in found
+
+    def test_only_race_dl_filters_other_checks(self, capsys):
+        path = os.path.join(FIXTURES, "conc_race_ww.json")
+        assert main([
+            "lint", path, "--only", "RACE,DL", "--format", "json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        found = {item["code"] for item in payload["diagnostics"]}
+        assert found == {"RACE001"}
+
+    def test_only_race_dl_skips_wf_findings(self, capsys):
+        path = os.path.join(FIXTURES, "cycle.json")
+        assert main([
+            "lint", path, "--only", "RACE,DL", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+
+    def test_clean_fixture_stays_clean(self):
+        path = os.path.join(FIXTURES, "clean.json")
+        assert main(["lint", path]) == 0
+
+    def test_suppress_clears_exit_code(self, capsys):
+        path = os.path.join(FIXTURES, "conc_dl_holdwait.json")
+        assert main(["lint", path, "--suppress", "DL003"]) == 0

@@ -65,6 +65,37 @@ class TestExitCodes:
         assert run_lint("/no/such/spec.edsl") == 2
 
 
+class TestMultiTargetRobustness:
+    def test_bad_target_does_not_abort_the_run(
+        self, tmp_path, capsys
+    ):
+        # a non-UTF8 blob among good targets: the whole run exits 2,
+        # but the remaining targets are still linted
+        good = tmp_path / "k.edsl"
+        good.write_text(CLEAN_KERNEL)
+        blob = tmp_path / "garbage.edsl"
+        blob.write_bytes(b"\xff\xfe\x00kernel")
+        racy = os.path.join(FIXTURES, "conc_race_ww.json")
+        assert run_lint(
+            str(blob), str(good), racy, "--format", "json"
+        ) == 2
+        payload = json.loads(capsys.readouterr().out)
+        codes = {item["code"] for item in payload["diagnostics"]}
+        assert "DSL001" in codes  # the unreadable blob
+        assert "RACE001" in codes  # later target still linted
+
+    def test_loader_failure_outranks_lint_findings(self, capsys):
+        bad = os.path.join(FIXTURES, "bad_kernel.edsl")
+        racy = os.path.join(FIXTURES, "conc_race_ww.json")
+        assert run_lint(racy, bad) == 2
+
+    def test_all_good_targets_keep_code_one(self, tmp_path, capsys):
+        good = tmp_path / "k.edsl"
+        good.write_text(CLEAN_KERNEL)
+        racy = os.path.join(FIXTURES, "conc_race_ww.json")
+        assert run_lint(str(good), racy) == 1
+
+
 class TestOptions:
     def test_suppress_turns_error_into_clean_exit(self, capsys):
         path = os.path.join(FIXTURES, "overcapacity.json")

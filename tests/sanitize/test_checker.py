@@ -1,0 +1,105 @@
+"""Happens-before checker unit behavior (synthetic event feeds)."""
+
+from repro.sanitize import HappensBeforeChecker
+
+
+def codes(diagnostics):
+    return sorted({item.code for item in diagnostics})
+
+
+class TestDataRaces:
+    def test_producer_consumer_chain_is_clean(self):
+        checker = HappensBeforeChecker()
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("read", reads=["acc"], writes=["out"])
+        assert len(checker.finish()) == 0
+
+    def test_concurrent_writes_are_san001(self):
+        checker = HappensBeforeChecker()
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("upd_a", reads=["acc"],
+                                writes=["acc"])
+        checker.observe_attempt("upd_b", reads=["acc"],
+                                writes=["acc"])
+        assert "SAN001" in codes(checker.finish())
+
+    def test_concurrent_read_write_is_san002(self):
+        checker = HappensBeforeChecker()
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("upd", reads=["acc"], writes=["acc"])
+        checker.observe_attempt("read", reads=["acc"], writes=["out"])
+        assert "SAN002" in codes(checker.finish())
+
+    def test_duplicate_pairs_reported_once(self):
+        checker = HappensBeforeChecker()
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("upd_a", reads=["acc"],
+                                writes=["acc"])
+        checker.observe_attempt("upd_b", reads=["acc"],
+                                writes=["acc"])
+        findings = checker.finish()
+        san001 = [i for i in findings if i.code == "SAN001"]
+        assert len(san001) == 1
+
+    def test_lineage_reexecution_opens_new_epoch(self):
+        # a chaos recovery re-runs the producer and its consumer;
+        # the second write must not race with the first epoch's reads
+        checker = HappensBeforeChecker()
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("read", reads=["acc"], writes=["out"])
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("read", reads=["acc"], writes=["out"])
+        assert len(checker.finish()) == 0
+
+    def test_race_still_caught_after_lineage(self):
+        checker = HappensBeforeChecker()
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("upd_a", reads=["acc"],
+                                writes=["acc"])
+        checker.observe_attempt("produce", reads=[], writes=["acc"])
+        checker.observe_attempt("upd_a", reads=["acc"],
+                                writes=["acc"])
+        checker.observe_attempt("upd_b", reads=["acc"],
+                                writes=["acc"])
+        assert "SAN001" in codes(checker.finish())
+
+
+class TestResourceAudit:
+    def test_balanced_lifecycle_is_clean(self):
+        checker = HappensBeforeChecker()
+        checker.observe_resource("request", "w0", 2, 4)
+        checker.observe_resource("release", "w0", 2, 4)
+        assert len(checker.finish()) == 0
+
+    def test_release_without_request_is_san003(self):
+        checker = HappensBeforeChecker()
+        checker.observe_resource("release", "w0", 1, 4)
+        findings = checker.finish()
+        assert codes(findings) == ["SAN003"]
+        assert "released" in findings.items[0].message
+
+    def test_overcommit_is_san003(self):
+        checker = HappensBeforeChecker()
+        checker.observe_resource("request", "w0", 3, 4)
+        checker.observe_resource("request", "w0", 3, 4)
+        assert "SAN003" in codes(checker.finish())
+
+    def test_leaked_units_at_end_are_san003(self):
+        checker = HappensBeforeChecker()
+        checker.observe_resource("request", "w0", 2, 4)
+        findings = checker.finish()
+        assert codes(findings) == ["SAN003"]
+        assert "unreleased" in findings.items[0].message
+
+    def test_crash_reset_forgives_held_units(self):
+        checker = HappensBeforeChecker()
+        checker.observe_resource("request", "w0", 2, 4)
+        checker.observe_resource("reset", "w0", 0, 4)
+        assert len(checker.finish()) == 0
+
+    def test_findings_carry_sanitize_analysis(self):
+        checker = HappensBeforeChecker()
+        checker.observe_resource("release", "w0", 1, 4)
+        item = checker.finish().items[0]
+        assert item.analysis == "sanitize"
+        assert item.anchor == "w0"

@@ -1,0 +1,43 @@
+"""Vector-clock semantics."""
+
+from repro.sanitize import VectorClock
+
+
+class TestVectorClock:
+    def test_empty_clocks_dominate_each_other(self):
+        a, b = VectorClock(), VectorClock()
+        assert a.dominates(b) and b.dominates(a)
+        assert not a.concurrent(b)
+
+    def test_tick_orders_successive_attempts(self):
+        first = VectorClock().tick("t", 1)
+        second = first.copy().tick("t", 2)
+        assert second.dominates(first)
+        assert not first.dominates(second)
+
+    def test_join_merges_componentwise(self):
+        a = VectorClock({"x": 2, "y": 1})
+        b = VectorClock({"y": 3, "z": 1})
+        a.join(b)
+        assert a.components == {"x": 2, "y": 3, "z": 1}
+
+    def test_independent_ticks_are_concurrent(self):
+        a = VectorClock().tick("a", 1)
+        b = VectorClock().tick("b", 1)
+        assert a.concurrent(b)
+
+    def test_join_establishes_order(self):
+        a = VectorClock().tick("a", 1)
+        b = VectorClock().copy().join(a).tick("b", 1)
+        assert b.dominates(a)
+        assert not a.concurrent(b)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"a": 1})
+        b = a.copy().tick("b", 1)
+        assert "b" not in a.components
+        assert "b" in b.components
+
+    def test_repr_is_sorted_and_stable(self):
+        clock = VectorClock({"b": 2, "a": 1})
+        assert repr(clock) == "VC(a:1, b:2)"

@@ -1,0 +1,64 @@
+"""Runnable concurrency defect: the sanitizer must catch it.
+
+Builds the tutorial's updates-race workflow (one producer, two
+in-place updaters, one reader — statically RACE001/RACE002), executes
+it under a seeded chaos schedule, and sanitizes the trace. Exits 1
+when the happens-before checker reports findings (the expected
+outcome — CI asserts this script does NOT exit 0) and 0 only if the
+race somehow failed to manifest.
+
+Usage: PYTHONPATH=src python tools/sanitize_defect_demo.py [fault-seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.chaos import ChaosConfig, generate_schedule
+from repro.obs import observe, session
+from repro.sanitize import sanitize_tracer
+from repro.workflow.graph import DataObject, TaskGraph, WorkflowTask
+from repro.workflow.recovery import ResilientServer
+from repro.workflow.worker import Worker
+
+
+def updates_graph() -> TaskGraph:
+    graph = TaskGraph("updates-race")
+    graph.add_object(DataObject("seed", size_bytes=64))
+    graph.add_task(WorkflowTask(
+        "produce", inputs=["seed"], outputs=["acc"], duration_s=0.01,
+    ))
+    graph.add_task(WorkflowTask("upd_a", updates=["acc"],
+                                duration_s=0.01))
+    graph.add_task(WorkflowTask("upd_b", updates=["acc"],
+                                duration_s=0.01))
+    graph.add_task(WorkflowTask(
+        "read", inputs=["acc"], outputs=["out"], duration_s=0.01,
+    ))
+    return graph
+
+
+def main(argv) -> int:
+    fault_seed = int(argv[1]) if len(argv) > 1 else 3
+    graph = updates_graph()
+    pool = [Worker(f"w{index}", node_name=f"n{index}", cpus=2)
+            for index in range(3)]
+    schedule = generate_schedule(
+        graph, [worker.name for worker in pool], fault_seed,
+        ChaosConfig(crashes=1, link_faults=0, reconfig_faults=1,
+                    stragglers=1, task_faults=1),
+    )
+    obs = session(deterministic=True)
+    with observe(obs):
+        ResilientServer(pool).run(graph, chaos=schedule)
+    findings = sanitize_tracer(obs.tracer)
+    print(f"sanitize: defect demo (fault-seed {fault_seed})")
+    if len(findings):
+        print(findings.render_text())
+        return 1
+    print("  no findings — the race did not manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
