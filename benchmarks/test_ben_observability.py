@@ -94,5 +94,4 @@ def test_ben_observability_trace_content(benchmark):
     table.show()
 
     assert "compiler.phase" in categories
-    assert "compiler.pass" in categories
     assert "dse.explore" in categories

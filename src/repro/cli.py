@@ -2,16 +2,23 @@
 
 Subcommands::
 
-    python -m repro compile  KERNELS.edsl [--strategy ...]
+    python -m repro compile  KERNELS.edsl [--strategy ...] [--workers N]
     python -m repro synth    KERNELS.edsl --kernel NAME [--unroll N]
-    python -m repro explore  KERNELS.edsl --kernel NAME
+    python -m repro explore  KERNELS.edsl --kernel NAME [--workers N]
     python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
     python -m repro lint     SPEC [--format json|text] [--suppress CODE]
     python -m repro chaos    --graph-seed N --fault-seed M [--verify-replay]
     python -m repro run      SPEC [--trace PATH]
     python -m repro trace    SPEC --out trace.json [--clock logical|wall]
     python -m repro metrics  SPEC [--format text|json]
+    python -m repro cache    stats|clear [--cache-dir PATH]
     python -m repro info
+
+Commands that price design points (compile, explore, synth, emit, run,
+trace, metrics) share a persistent content-addressed cost cache
+(``~/.cache/repro-dse`` unless ``--cache-dir``/``--no-cache`` says
+otherwise), so repeated invocations skip HLS re-synthesis of
+already-priced variants. ``repro cache stats|clear`` inspects it.
 
 ``KERNELS.edsl`` is a file of kernel-DSL source (see
 :mod:`repro.core.dsl.kernel_dsl`); a ``.py`` file embedding kernel-DSL
@@ -57,8 +64,28 @@ def _space_by_name(name: str) -> DesignSpace:
     raise SystemExit(f"unknown space {name!r}; use small or thorough")
 
 
+def _configure_dse_caches(args: argparse.Namespace) -> None:
+    """Install the persistent cost cache the flags ask for.
+
+    Default: the shared on-disk store at
+    :func:`repro.core.dse.cache.default_cache_dir`, so repeated CLI
+    invocations reuse each other's synthesis work. ``--no-cache``
+    falls back to a memory-only cache; ``--cache-dir`` relocates it.
+    """
+    from repro.core.dse import cache as dse_cache
+
+    if getattr(args, "no_cache", False):
+        dse_cache.configure(cache_dir=None)
+        return
+    directory = getattr(args, "cache_dir", None)
+    dse_cache.configure(
+        cache_dir=directory or dse_cache.default_cache_dir()
+    )
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     """Explore every kernel in the spec; print a variant table."""
+    _configure_dse_caches(args)
     source = _read_source(args.file)
     module = compile_kernel(source)
     space = _space_by_name(args.space)
@@ -68,7 +95,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
          "best energy uJ"],
     )
     for name in kernel_names(source):
-        explorer = Explorer(module, name, space)
+        explorer = Explorer(module, name, space, workers=args.workers)
         result = explorer.run(args.strategy)
         best_latency = result.best_latency()
         best_energy = result.best_energy()
@@ -89,6 +116,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
     from repro.core.hls.bambu import HLSOptions, synthesize
     from repro.core.hls.scheduling import ResourceBudget
 
+    _configure_dse_caches(args)
     source = _read_source(args.file)
     module = compile_kernel(source)
     knobs = VariantKnobs(
@@ -111,10 +139,15 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     """Print the design-space table for one kernel."""
+    from repro.core.dse import cost_cache
+
+    _configure_dse_caches(args)
     source = _read_source(args.file)
     module = compile_kernel(source)
     space = _space_by_name(args.space)
-    explorer = Explorer(module, args.kernel, space)
+    explorer = Explorer(module, args.kernel, space,
+                        workers=args.workers)
+    before = cost_cache().stats.snapshot()
     result = explorer.run(args.strategy)
     table = Table(
         f"design space of {args.kernel!r} "
@@ -131,11 +164,18 @@ def cmd_explore(args: argparse.Namespace) -> int:
             variant.variant_id in front_ids,
         )
     table.show()
+    delta = cost_cache().stats.delta(before)
+    if delta.lookups:
+        print(
+            f"cost cache: {delta.hits}/{delta.lookups} hits "
+            f"({100.0 * delta.hits / delta.lookups:.0f}%)"
+        )
     return 0
 
 
 def cmd_emit(args: argparse.Namespace) -> int:
     """Print IR / lowered IR / SYCL / RTL for one kernel."""
+    _configure_dse_caches(args)
     source = _read_source(args.file)
     module = compile_kernel(source)
     if args.what == "ir":
@@ -363,8 +403,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Compile a spec and deploy it on the reference ecosystem."""
     from repro.obs.driver import run_traced
 
+    _configure_dse_caches(args)
     run = run_traced(
         args.file, clock=args.clock, strategy=args.strategy,
+        workers=args.workers,
     )
     report = run.report
     table = Table(
@@ -396,8 +438,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import validate_chrome_trace
     from repro.obs.driver import run_traced
 
+    _configure_dse_caches(args)
     run = run_traced(
         args.file, clock=args.clock, strategy=args.strategy,
+        workers=args.workers,
     )
     tracer = run.observation.tracer
     problems = validate_chrome_trace(tracer.to_chrome())
@@ -419,13 +463,38 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     """Run a spec end to end and print the metrics snapshot."""
     from repro.obs.driver import run_traced
 
-    run = run_traced(args.file, strategy=args.strategy)
+    _configure_dse_caches(args)
+    run = run_traced(args.file, strategy=args.strategy,
+                     workers=args.workers)
     metrics = run.observation.metrics
     if args.format == "json":
         print(metrics.to_json(indent=2))
     else:
         print(metrics.render_text(f"metrics: {args.file}"))
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent DSE cost cache."""
+    from repro.core.dse import cache as dse_cache
+
+    directory = args.cache_dir or dse_cache.default_cache_dir()
+    store = dse_cache.CostCache(directory=directory)
+    if args.action == "stats":
+        table = Table(
+            "DSE cost cache",
+            ["property", "value"],
+        )
+        table.add_row("directory", str(directory))
+        table.add_row("entries", store.entry_count())
+        table.add_row("disk bytes", store.disk_bytes())
+        table.show()
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached cost entries from {directory}")
+        return 0
+    raise SystemExit(f"unknown cache action {args.action!r}")
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
@@ -452,12 +521,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_cache_flags(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--cache-dir", metavar="PATH", default=None,
+            help="persistent DSE cost-cache directory (default: "
+                 "~/.cache/repro-dse, XDG aware)",
+        )
+        command_parser.add_argument(
+            "--no-cache", action="store_true",
+            help="keep the cost cache in memory only for this run",
+        )
+
+    def add_workers_flag(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="evaluate DSE batches on N threads; any value "
+                 "produces identical results (default: 1)",
+        )
+
     p_compile = sub.add_parser(
         "compile", help="explore every kernel in a DSL file"
     )
     p_compile.add_argument("file")
     p_compile.add_argument("--space", default="small")
     p_compile.add_argument("--strategy", default="exhaustive")
+    add_workers_flag(p_compile)
+    add_cache_flags(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_synth = sub.add_parser("synth", help="HLS report for one kernel")
@@ -465,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--kernel", required=True)
     p_synth.add_argument("--unroll", type=int, default=4)
     p_synth.add_argument("--clock-mhz", type=float, default=250.0)
+    add_cache_flags(p_synth)
     p_synth.set_defaults(func=cmd_synth)
 
     p_explore = sub.add_parser(
@@ -474,6 +564,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--kernel", required=True)
     p_explore.add_argument("--space", default="small")
     p_explore.add_argument("--strategy", default="exhaustive")
+    add_workers_flag(p_explore)
+    add_cache_flags(p_explore)
     p_explore.set_defaults(func=cmd_explore)
 
     p_emit = sub.add_parser(
@@ -486,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("ir", "lowered-ir", "sycl", "rtl"),
     )
     p_emit.add_argument("--unroll", type=int, default=4)
+    add_cache_flags(p_emit)
     p_emit.set_defaults(func=cmd_emit)
 
     p_lint = sub.add_parser(
@@ -585,6 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--suppress", action="append", default=[], metavar="CODE",
         help="drop sanitizer findings with this code (repeatable)",
     )
+    add_workers_flag(p_run)
+    add_cache_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(
@@ -603,6 +698,8 @@ def build_parser() -> argparse.ArgumentParser:
              "wall = real profiling (default: logical)",
     )
     p_trace.add_argument("--strategy", default="exhaustive")
+    add_workers_flag(p_trace)
+    add_cache_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
     p_metrics = sub.add_parser(
@@ -614,7 +711,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="text", choices=("text", "json"),
     )
     p_metrics.add_argument("--strategy", default="exhaustive")
+    add_workers_flag(p_metrics)
+    add_cache_flags(p_metrics)
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent DSE cost cache",
+    )
+    p_cache.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: entry count and size; clear: drop every entry",
+    )
+    p_cache.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="cache directory (default: ~/.cache/repro-dse, XDG aware)",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_info = sub.add_parser("info", help="SDK inventory")
     p_info.set_defaults(func=cmd_info)

@@ -71,6 +71,8 @@ CODES: Dict[str, str] = {
     # pass pipeline
     "PM001": "module became invalid after a pass",
     "PM002": "analysis found errors after a pass",
+    # design-space exploration
+    "DSE001": "no feasible variants for the kernel",
     # static concurrency: data races
     "RACE001": "unordered tasks both write the same data object",
     "RACE002": "task reads an object an unordered task writes",

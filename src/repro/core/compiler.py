@@ -36,7 +36,7 @@ from repro.core.hls.scheduling import ResourceBudget
 from repro.core.ir.module import Module
 from repro.core.ir.passes.partitioning import HardwarePartitioningPass
 from repro.errors import AnalysisError, BackendError
-from repro.obs import current_metrics, current_tracer
+from repro.obs import Observation, current_metrics, current_tracer, observe
 
 #: Tracer category for compile-driver phase spans.
 COMPILE_CATEGORY = "compiler.phase"
@@ -84,6 +84,7 @@ class EverestCompiler:
         signing_key: str = "everest-demo-key",
         emit_artifacts: bool = True,
         static_checks: bool = True,
+        workers: int = 1,
     ):
         self.space = space or DesignSpace.small()
         self.model = model or ArchitectureModel()
@@ -91,6 +92,9 @@ class EverestCompiler:
         self.signing_key = signing_key
         self.emit_artifacts = emit_artifacts
         self.static_checks = static_checks
+        #: Thread-pool width for per-kernel DSE batches; results are
+        #: identical for every value (see Explorer).
+        self.workers = workers
 
     # ------------------------------------------------------------------
 
@@ -142,6 +146,7 @@ class EverestCompiler:
                     module, kernel, space=space, model=self.model,
                     requirements=list(task.requirements)
                     + list(pipeline.requirements),
+                    workers=self.workers,
                 )
                 result = explorer.run(self.strategy)
                 app.exploration[kernel] = result
@@ -213,9 +218,15 @@ class EverestCompiler:
 
     def _build_artifact(self, module: Module, variant) -> Artifact:
         """Generate the deployable artifact for one variant."""
-        prepared = prepare_variant_module(
-            module, variant.kernel, variant.knobs
-        )
+        # Muted observation: preparation is memoized, so whether the
+        # pass pipeline actually runs here depends on cache warmth;
+        # letting it trace would make otherwise-identical compiles
+        # produce different traces. The packaging span above is the
+        # deterministic record of this work.
+        with observe(Observation()):
+            prepared = prepare_variant_module(
+                module, variant.kernel, variant.knobs
+            )
         if variant.knobs.target == "cpu":
             source = generate_sycl(prepared, variant.kernel)
             payload = SoftwareBinary(

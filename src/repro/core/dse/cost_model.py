@@ -7,15 +7,23 @@ FPGA + attachment link); :func:`evaluate_variant` predicts latency,
 energy and resource footprint of a knob assignment by actually running
 the knob-specific compilation (tiling, lowering, directives) and HLS on
 a clone of the kernel — the estimation feedback loop of Fig. 1.
+
+Evaluation is memoized through the content-addressed caches in
+:mod:`repro.core.dse.cache`: prepared (knob-transformed) modules live
+in a bounded LRU and finished cost estimates in a two-level cost cache,
+both keyed by the *structural digest* of the source module — never by
+``id()``, which the garbage collector recycles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
+from repro.core.dse.cache import CostCache, cost_cache, prepared_cache
 from repro.core.hls.bambu import HLSOptions, synthesize
 from repro.core.hls.scheduling import ResourceBudget
+from repro.core.ir.digest import module_digest
 from repro.core.ir.module import Module
 from repro.core.ir.passes import (
     CanonicalizePass,
@@ -67,16 +75,60 @@ class ArchitectureModel:
         density = resources.luts / max(self.fpga_role_capacity.luts, 1)
         return self.base_clock_hz / (1.0 + 1.5 * density)
 
+    def fingerprint(self) -> str:
+        """Stable identity of the model for cost-cache keys.
 
-_PREPARED_CACHE: Dict[Tuple[int, VariantKnobs], Module] = {}
+        Deliberately excludes the link's mutable transfer statistics;
+        any parameter that changes a predicted cost is included.
+        """
+        link = self.fpga_link
+        link_part = (
+            "none" if link is None else
+            f"{link.name}|{link.latency_s!r}|{link.bandwidth!r}|"
+            f"{link.per_message_overhead!r}|"
+            f"{link.energy_pj_per_byte!r}|{link.coherent}"
+        )
+        cpu = self.cpu
+        cpu_part = (
+            f"{cpu.name}|{cpu.cores}|{cpu.frequency_hz!r}|"
+            f"{cpu.flops_per_cycle!r}|{cpu.tdp_watts!r}|"
+            f"{cpu.idle_watts!r}"
+        )
+        fpga_part = (
+            "none" if self.fpga_role_capacity is None else
+            f"{self.fpga_role_capacity.luts}|"
+            f"{self.fpga_role_capacity.ffs}|"
+            f"{self.fpga_role_capacity.bram_kb}|"
+            f"{self.fpga_role_capacity.dsps}"
+        )
+        return "\x1f".join((
+            self.name, cpu_part, fpga_part, link_part,
+            repr(self.host_memory_bandwidth),
+            repr(self.base_clock_hz),
+            repr(self.parallel_fraction),
+            repr(self.cpu_efficiency),
+            repr(self.software_dift_slowdown),
+        ))
 
 
 def prepare_variant_module(
-    module: Module, kernel: str, knobs: VariantKnobs
+    module: Module,
+    kernel: str,
+    knobs: VariantKnobs,
+    digest: Optional[str] = None,
 ) -> Module:
-    """Clone the tensor-form module and apply the knob's passes."""
-    cache_key = (id(module), kernel, knobs)
-    cached = _PREPARED_CACHE.get(cache_key)
+    """Clone the tensor-form module and apply the knob's passes.
+
+    Prepared modules are cached in a bounded LRU keyed by the module's
+    *content* digest (pass ``digest`` to reuse a precomputed one), so
+    the cache survives garbage collection of the source module without
+    ever aliasing a recycled ``id``.
+    """
+    if digest is None:
+        digest = module_digest(module)
+    cache = prepared_cache()
+    cache_key = (digest, kernel, knobs)
+    cached = cache.get(cache_key)
     if cached is not None:
         return cached
     clone = module.clone()
@@ -104,7 +156,7 @@ def prepare_variant_module(
             manager.add(AccumulationInterleavePass(knobs.interleave))
     manager.add(CanonicalizePass())
     manager.run(clone)
-    _PREPARED_CACHE[cache_key] = clone
+    cache.put(cache_key, clone)
     return clone
 
 
@@ -113,21 +165,42 @@ def evaluate_variant(
     kernel: str,
     knobs: VariantKnobs,
     model: Optional[ArchitectureModel] = None,
+    digest: Optional[str] = None,
 ) -> CostEstimate:
     """Predict the cost of one knob assignment on one architecture.
 
     ``module`` must hold the kernel in tensor form (pre-lowering).
+    Results are memoized in the process-wide cost cache under
+    ``(module_digest, kernel, knobs, model.fingerprint())``; pass
+    ``digest`` to skip recomputing the module hash (the explorer hashes
+    once per run). Cache hits return a fresh :class:`CostEstimate`.
     """
     model = model or ArchitectureModel()
     function = module.find_function(kernel)
     if function is None:
         raise DSEError(f"no kernel named {kernel!r}")
+    if knobs.target not in ("cpu", "fpga"):
+        raise DSEError(
+            f"cost model does not support target {knobs.target!r}"
+        )
+
+    cache = cost_cache()
+    if digest is None:
+        digest = module_digest(module)
+    key = CostCache.key(digest, kernel, knobs, model.fingerprint())
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
 
     if knobs.target == "cpu":
-        return _evaluate_cpu(module, kernel, knobs, model)
-    if knobs.target == "fpga":
-        return _evaluate_fpga(module, kernel, knobs, model)
-    raise DSEError(f"cost model does not support target {knobs.target!r}")
+        cost = _evaluate_cpu(module, kernel, knobs, model)
+    else:
+        cost = _evaluate_fpga(module, kernel, knobs, model, digest)
+    cache.put(key, cost, context={
+        "kernel": kernel, "knobs": knobs.describe(),
+        "target": knobs.target,
+    })
+    return cost
 
 
 def _data_bytes(function) -> int:
@@ -182,14 +255,14 @@ def _evaluate_cpu(
 
 def _evaluate_fpga(
     module: Module, kernel: str, knobs: VariantKnobs,
-    model: ArchitectureModel,
+    model: ArchitectureModel, digest: Optional[str] = None,
 ) -> CostEstimate:
     if model.fpga_role_capacity is None or model.fpga_link is None:
         return CostEstimate(
             latency_s=float("inf"), energy_j=float("inf"),
             feasible=False, infeasible_reason="no FPGA on this node",
         )
-    prepared = prepare_variant_module(module, kernel, knobs)
+    prepared = prepare_variant_module(module, kernel, knobs, digest)
     options = HLSOptions(
         clock_hz=knobs.clock_hz,
         memory_strategy=knobs.memory_strategy,

@@ -11,28 +11,47 @@ Three searchers over :class:`~repro.core.dse.space.DesignSpace`:
 All return an :class:`ExplorationResult` with every evaluated variant
 and the Pareto front, and honor non-functional requirements by marking
 variants that violate them infeasible.
+
+Evaluation runs in fixed-size **batches**; with ``workers > 1`` the
+points of a batch are priced concurrently on a thread pool. The result
+is bit-for-bit identical to a serial run: costs are computed by a pure
+function of the point (memoized through the content-addressed caches),
+batch boundaries do not depend on ``workers``, and
+:class:`~repro.core.variants.Variant` records are materialized in
+submission order on the main thread. Fronts are maintained with the
+incremental :class:`~repro.core.dse.pareto.ParetoFront`, so the
+front-growth curve costs O(n·front) instead of O(n³).
 """
 
 from __future__ import annotations
 
+import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.dsl.annotations import Requirement, RequirementKind
+from repro.core.dse.cache import cost_cache, prepared_cache
 from repro.core.dse.cost_model import (
     ArchitectureModel,
     evaluate_variant,
 )
-from repro.core.dse.pareto import pareto_front
+from repro.core.dse.pareto import ParetoFront
 from repro.core.dse.space import DesignSpace, neighborhood
+from repro.core.dsl.annotations import Requirement, RequirementKind
+from repro.core.ir.digest import module_digest
 from repro.core.ir.module import Module
-from repro.core.variants import Variant, VariantKnobs
+from repro.core.variants import CostEstimate, Variant, VariantKnobs
 from repro.errors import DSEError
-from repro.obs import current_metrics, current_tracer
+from repro.obs import Observation, current_metrics, current_tracer, observe
 from repro.utils.rng import deterministic_rng
 
 #: Tracer category for exploration spans and front-growth events.
 DSE_CATEGORY = "dse.explore"
+
+#: Points per evaluation batch. Deliberately independent of the worker
+#: count so batch spans (and therefore deterministic traces) are
+#: identical whether a run is serial or parallel.
+BATCH_SIZE = 16
 
 
 @dataclass
@@ -63,9 +82,48 @@ class ExplorationResult:
             raise DSEError(f"kernel {self.kernel!r}: no feasible variant")
         return min(candidates, key=lambda v: v.cost.energy_j)
 
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON of the whole result.
+
+        Variants are identified by their position in evaluation order
+        (not by the process-global ``variant_id``), so two runs that
+        evaluate the same points in the same order — e.g. a serial and
+        a parallel exploration — serialize byte-identically.
+        """
+        position = {id(v): i for i, v in enumerate(self.evaluated)}
+        payload = {
+            "kernel": self.kernel,
+            "evaluations": self.evaluations,
+            "evaluated": [
+                {
+                    "knobs": variant.knobs.describe(),
+                    "target": variant.knobs.target,
+                    "latency_s": variant.cost.latency_s,
+                    "energy_j": variant.cost.energy_j,
+                    "data_bytes": variant.cost.data_bytes,
+                    "feasible": variant.cost.feasible,
+                    "infeasible_reason": variant.cost.infeasible_reason,
+                    "resources": {
+                        "luts": variant.cost.resources.luts,
+                        "ffs": variant.cost.resources.ffs,
+                        "bram_kb": variant.cost.resources.bram_kb,
+                        "dsps": variant.cost.resources.dsps,
+                    },
+                }
+                for variant in self.evaluated
+            ],
+            "front": [position[id(v)] for v in self.front],
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent,
+                          separators=None if indent else (",", ":"))
+
 
 class Explorer:
-    """Runs one exploration strategy for one kernel."""
+    """Runs one exploration strategy for one kernel.
+
+    ``workers`` sets the width of the per-batch thread pool; 1 (the
+    default) evaluates serially. Any value produces identical results.
+    """
 
     def __init__(
         self,
@@ -74,18 +132,31 @@ class Explorer:
         space: Optional[DesignSpace] = None,
         model: Optional[ArchitectureModel] = None,
         requirements: Optional[Sequence[Requirement]] = None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise DSEError(f"workers must be >= 1, got {workers}")
         self.module = module
         self.kernel = kernel
         self.space = space or DesignSpace.small()
         self.model = model or ArchitectureModel()
         self.requirements = list(requirements or [])
+        self.workers = workers
+        #: Content digest of the source module, computed once per
+        #: explorer so per-point cache lookups skip re-hashing.
+        self._digest = module_digest(module)
 
     # ------------------------------------------------------------------
 
-    def _evaluate(self, knobs: VariantKnobs) -> Variant:
+    def _cost_for(self, knobs: VariantKnobs) -> CostEstimate:
+        """Price one point (cache-aware, requirement-checked).
+
+        Pure with respect to exploration state, so it is safe to run
+        from batch worker threads; cost-cache hits return fresh
+        estimates, making the in-place requirement rewrite private.
+        """
         cost = evaluate_variant(self.module, self.kernel, knobs,
-                                self.model)
+                                self.model, digest=self._digest)
         if cost.feasible:
             for requirement in self.requirements:
                 measured = self._measure_for(requirement, cost)
@@ -99,7 +170,7 @@ class Explorer:
                         f"{requirement.value:.3g})"
                     )
                     break
-        return Variant(kernel=self.kernel, knobs=knobs, cost=cost)
+        return cost
 
     @staticmethod
     def _measure_for(requirement: Requirement, cost) -> Optional[float]:
@@ -112,15 +183,69 @@ class Explorer:
             return 1.0 / max(cost.latency_s, 1e-30)
         return None
 
+    def _admit(self, knobs: VariantKnobs, cost: CostEstimate,
+               result: ExplorationResult, front: ParetoFront) -> Variant:
+        """Record one priced point, in order, on the main thread."""
+        variant = Variant(kernel=self.kernel, knobs=knobs, cost=cost)
+        result.evaluated.append(variant)
+        result.evaluations += 1
+        front.add(variant)
+        return variant
+
+    def _evaluate_points(
+        self,
+        points: Sequence[VariantKnobs],
+        result: ExplorationResult,
+        front: ParetoFront,
+    ) -> List[Variant]:
+        """Evaluate ``points`` in fixed-size, possibly parallel batches.
+
+        Returns the admitted variants in submission order — identical
+        for every worker count.
+        """
+        tracer = current_tracer()
+        admitted: List[Variant] = []
+        executor = (
+            ThreadPoolExecutor(max_workers=self.workers)
+            if self.workers > 1 and len(points) > 1 else None
+        )
+        try:
+            for start in range(0, len(points), BATCH_SIZE):
+                batch = list(points[start:start + BATCH_SIZE])
+                with tracer.span(f"batch:{self.kernel}",
+                                 category=DSE_CATEGORY) as span:
+                    # Evaluation internals are hermetic: pricing runs
+                    # under a muted observation so the trace shape
+                    # depends on neither cache warmth (hits skip the
+                    # pass pipeline entirely) nor worker threads
+                    # (which must never touch the ambient tracer).
+                    with observe(Observation()):
+                        if executor is not None:
+                            costs = list(
+                                executor.map(self._cost_for, batch)
+                            )
+                        else:
+                            costs = [
+                                self._cost_for(knobs) for knobs in batch
+                            ]
+                    for knobs, cost in zip(batch, costs):
+                        admitted.append(
+                            self._admit(knobs, cost, result, front)
+                        )
+                    span.note(points=len(batch))
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        return admitted
+
     # ------------------------------------------------------------------
 
     def exhaustive(self) -> ExplorationResult:
         """Evaluate every point of the space."""
         result = ExplorationResult(kernel=self.kernel)
-        for knobs in self.space.points():
-            result.evaluated.append(self._evaluate(knobs))
-            result.evaluations += 1
-        result.front = pareto_front(result.evaluated)
+        front = ParetoFront()
+        self._evaluate_points(list(self.space.points()), result, front)
+        result.front = front.variants()
         return result
 
     def random(self, budget: int = 16, seed: str = "dse"
@@ -131,10 +256,11 @@ class Explorer:
         count = min(budget, len(points))
         chosen = rng.choice(len(points), size=count, replace=False)
         result = ExplorationResult(kernel=self.kernel)
-        for index in chosen:
-            result.evaluated.append(self._evaluate(points[int(index)]))
-            result.evaluations += 1
-        result.front = pareto_front(result.evaluated)
+        front = ParetoFront()
+        self._evaluate_points(
+            [points[int(index)] for index in chosen], result, front
+        )
+        result.front = front.variants()
         return result
 
     def evolutionary(
@@ -147,19 +273,28 @@ class Explorer:
         points = list(self.space.points())
         rng = deterministic_rng("dse-evo", seed, self.kernel)
         result = ExplorationResult(kernel=self.kernel)
-        seen = set()
+        front = ParetoFront()
+        # Unexplored points in space order, maintained incrementally:
+        # dict preserves insertion order, so materializing the stall
+        # fallback is O(|unseen|) instead of rescanning the whole
+        # space against a ``seen`` set every stall iteration.
+        unseen: Dict[VariantKnobs, None] = dict.fromkeys(points)
 
         def evaluate(knobs: VariantKnobs) -> Variant:
-            variant = self._evaluate(knobs)
-            result.evaluated.append(variant)
-            result.evaluations += 1
-            seen.add(knobs)
-            return variant
+            unseen.pop(knobs, None)
+            # Same hermetic pricing as the batched paths: the trace
+            # must not depend on whether this point is a cache hit.
+            with observe(Observation()):
+                cost = self._cost_for(knobs)
+            return self._admit(knobs, cost, result, front)
 
         initial_indices = rng.choice(
             len(points), size=min(population, len(points)), replace=False
         )
-        parents = [evaluate(points[int(i)]) for i in initial_indices]
+        initial = [points[int(i)] for i in initial_indices]
+        for knobs in initial:
+            unseen.pop(knobs, None)
+        parents = self._evaluate_points(initial, result, front)
 
         while result.evaluations < budget:
             parents.sort(key=lambda v: (
@@ -169,10 +304,10 @@ class Explorer:
             parent = parents[int(rng.integers(len(parents)))]
             neighbors = [
                 knobs for knobs in neighborhood(parent.knobs, self.space)
-                if knobs not in seen
+                if knobs in unseen
             ]
             if not neighbors:
-                remaining = [p for p in points if p not in seen]
+                remaining = list(unseen)
                 if not remaining:
                     break
                 choice = remaining[int(rng.integers(len(remaining)))]
@@ -180,13 +315,15 @@ class Explorer:
                 choice = neighbors[int(rng.integers(len(neighbors)))]
             parents.append(evaluate(choice))
 
-        result.front = pareto_front(result.evaluated)
+        result.front = front.variants()
         return result
 
     def run(self, strategy: str = "exhaustive", **kwargs
             ) -> ExplorationResult:
         """Dispatch by strategy name; traces and meters the run."""
         tracer = current_tracer()
+        prepared_before = prepared_cache().stats.snapshot()
+        cost_before = cost_cache().stats.snapshot()
         with tracer.span(f"explore:{self.kernel}",
                          category=DSE_CATEGORY,
                          strategy=strategy) as span:
@@ -207,16 +344,16 @@ class Explorer:
             )
         if tracer.enabled and tracer.detailed:
             # Pareto-front growth curve: front size after each prefix
-            # of the evaluation order, one counter sample per point.
+            # of the evaluation order, one counter sample per point —
+            # replayed through the incremental front in O(n·front).
+            growth = ParetoFront()
             front_size = 0
-            for index in range(len(result.evaluated)):
-                size = len(
-                    pareto_front(result.evaluated[:index + 1])
-                )
-                if size != front_size:
-                    front_size = size
+            for variant in result.evaluated:
+                growth.add(variant)
+                if len(growth) != front_size:
+                    front_size = len(growth)
                     tracer.counter(
-                        f"front:{self.kernel}", float(size),
+                        f"front:{self.kernel}", float(front_size),
                         category=DSE_CATEGORY,
                     )
         metrics = current_metrics()
@@ -227,4 +364,17 @@ class Explorer:
         metrics.counter(
             "dse.front_points", "Pareto-optimal points found",
         ).inc(len(result.front), kernel=self.kernel)
+        # Cache traffic this run caused, published from the main
+        # thread (workers never touch the ambient observation).
+        for cache_name, stats, before in (
+            ("prepared", prepared_cache().stats, prepared_before),
+            ("cost", cost_cache().stats, cost_before),
+        ):
+            delta = stats.delta(before)
+            metrics.counter(
+                "dse.cache_hits", "DSE cache hits",
+            ).inc(delta.hits, cache=cache_name, kernel=self.kernel)
+            metrics.counter(
+                "dse.cache_misses", "DSE cache misses",
+            ).inc(delta.misses, cache=cache_name, kernel=self.kernel)
         return result

@@ -1,10 +1,81 @@
-"""Pareto-front utilities over variant cost estimates."""
+"""Pareto-front utilities over variant cost estimates.
+
+:class:`ParetoFront` maintains the feasible non-dominated set
+*incrementally*: each :meth:`ParetoFront.add` costs O(front) instead of
+recomputing an O(n²) batch front, which turns the explorer's
+front-growth curve from O(n³) into O(n·front). :func:`pareto_front`
+is the batch entry point, now a thin wrapper over the incremental
+structure — both produce identical fronts (same variants, same order).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Set, Tuple
 
+from repro.core.analysis.diagnostics import Diagnostics
 from repro.core.variants import Variant
+from repro.errors import DSEError
+
+#: Cost coordinates are deduplicated at this rounding, matching the
+#: historical batch behavior.
+_DEDUPE_DIGITS = 12
+
+
+def _cost_key(variant: Variant) -> Tuple[float, float]:
+    return (round(variant.cost.latency_s, _DEDUPE_DIGITS),
+            round(variant.cost.energy_j, _DEDUPE_DIGITS))
+
+
+class ParetoFront:
+    """Incrementally maintained feasible non-dominated set.
+
+    Invariants match the batch :func:`pareto_front`: members are kept
+    in insertion order, infeasible variants are never admitted, and a
+    variant whose (rounded) cost coordinates duplicate a member's is
+    dropped. Dominance is transitive, so rejecting a newcomer against
+    the current front is equivalent to testing it against everything
+    ever seen.
+    """
+
+    def __init__(self, variants: Sequence[Variant] = ()):
+        self._members: List[Variant] = []
+        self._keys: Set[Tuple[float, float]] = set()
+        for variant in variants:
+            self.add(variant)
+
+    def add(self, variant: Variant) -> bool:
+        """Offer one variant; returns True when the front changed."""
+        if not variant.cost.feasible:
+            return False
+        key = _cost_key(variant)
+        if key in self._keys:
+            return False
+        cost = variant.cost
+        survivors: List[Variant] = []
+        for member in self._members:
+            if member.cost.dominates(cost):
+                return False
+            if cost.dominates(member.cost):
+                self._keys.discard(_cost_key(member))
+                continue
+            survivors.append(member)
+        survivors.append(variant)
+        self._members = survivors
+        self._keys.add(key)
+        return True
+
+    def variants(self) -> List[Variant]:
+        """The current front, in insertion order (a copy)."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __contains__(self, variant: Variant) -> bool:
+        return any(member is variant for member in self._members)
 
 
 def pareto_front(variants: Sequence[Variant]) -> List[Variant]:
@@ -12,29 +83,7 @@ def pareto_front(variants: Sequence[Variant]) -> List[Variant]:
 
     Stable: preserves input order among the survivors.
     """
-    feasible = [v for v in variants if v.cost.feasible]
-    front: List[Variant] = []
-    for candidate in feasible:
-        dominated = any(
-            other.cost.dominates(candidate.cost)
-            for other in feasible
-            if other is not candidate
-        )
-        if not dominated:
-            front.append(candidate)
-    return _dedupe_by_cost(front)
-
-
-def _dedupe_by_cost(variants: List[Variant]) -> List[Variant]:
-    seen: set = set()
-    unique: List[Variant] = []
-    for variant in variants:
-        key = (round(variant.cost.latency_s, 12),
-               round(variant.cost.energy_j, 12))
-        if key not in seen:
-            seen.add(key)
-            unique.append(variant)
-    return unique
+    return ParetoFront(variants).variants()
 
 
 def hypervolume_2d(
@@ -62,11 +111,20 @@ def hypervolume_2d(
     return volume
 
 
+def _no_feasible_error(message: str, anchor: str = "") -> DSEError:
+    """A DSEError carrying the DSE001 'no feasible variants' finding."""
+    diagnostics = Diagnostics()
+    diagnostics.error("DSE001", message, anchor=anchor, analysis="dse")
+    error = DSEError(message)
+    error.diagnostics = diagnostics
+    return error
+
+
 def knee_point(variants: Sequence[Variant]) -> Variant:
     """The balanced variant: minimal normalized distance to utopia."""
     front = pareto_front(list(variants))
     if not front:
-        raise ValueError("no feasible variants")
+        raise _no_feasible_error("no feasible variants")
     min_latency = min(v.cost.latency_s for v in front)
     max_latency = max(v.cost.latency_s for v in front)
     min_energy = min(v.cost.energy_j for v in front)
@@ -87,5 +145,5 @@ def best_by(variants: Sequence[Variant],
     """Feasible variant minimizing an arbitrary objective."""
     feasible = [v for v in variants if v.cost.feasible]
     if not feasible:
-        raise ValueError("no feasible variants")
+        raise _no_feasible_error("no feasible variants")
     return min(feasible, key=key)

@@ -29,6 +29,7 @@ from repro.core.ir.builder import Builder, LoopHandle
 from repro.core.ir.verifier import verify
 from repro.core.ir.printer import print_module, print_op
 from repro.core.ir.parser import parse_module
+from repro.core.ir.digest import function_digest, module_digest
 import repro.core.ir.dialects  # noqa: F401  (registers dialects)
 
 __all__ = [
@@ -59,4 +60,6 @@ __all__ = [
     "print_module",
     "print_op",
     "parse_module",
+    "module_digest",
+    "function_digest",
 ]

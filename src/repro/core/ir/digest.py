@@ -1,0 +1,42 @@
+"""Content-addressed digests for IR modules and functions.
+
+The printer assigns stable per-scope value names, so its output is a
+canonical rendering of a module's structure: two modules print
+identically iff they hold the same operations, attributes and types in
+the same order. Hashing that text gives a *content* key — unlike
+``id()`` it survives garbage collection, is never recycled, and is
+identical across processes, which is what the DSE caches need to
+memoize prepared variants and cost estimates safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.ir.module import Module
+from repro.core.ir.printer import print_module, print_op
+
+#: Bump when the printed form or digest recipe changes incompatibly;
+#: part of every persistent cache key so stale entries never match.
+DIGEST_VERSION = "1"
+
+
+def module_digest(module: Module) -> str:
+    """Stable hex digest of a module's printed structure."""
+    text = print_module(module)
+    payload = f"ir-digest-v{DIGEST_VERSION}\x1f{text}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def function_digest(module: Module, kernel: str) -> str:
+    """Digest of one function's printed subtree (module-independent).
+
+    Useful when only one kernel of a many-kernel module matters: edits
+    to sibling functions do not change this digest.
+    """
+    function = module.find_function(kernel)
+    if function is None:
+        raise ValueError(f"no function named {kernel!r}")
+    text = print_op(function.op)
+    payload = f"ir-digest-v{DIGEST_VERSION}\x1f{text}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()

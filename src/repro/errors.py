@@ -64,7 +64,13 @@ class AllocationError(HLSError):
 
 
 class DSEError(EverestError):
-    """Design-space exploration failed."""
+    """Design-space exploration failed.
+
+    When raised for an empty feasible set (DSE001) the ``diagnostics``
+    attribute holds the
+    :class:`~repro.core.analysis.diagnostics.Diagnostics` collection
+    describing the finding.
+    """
 
 
 class BackendError(EverestError):

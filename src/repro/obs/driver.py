@@ -94,13 +94,15 @@ def run_traced(
     clock: str = "logical",
     strategy: str = "exhaustive",
     emit_artifacts: bool = False,
+    workers: int = 1,
 ) -> TracedRun:
     """Compile and deploy a spec under an observation session.
 
     ``clock`` is ``"logical"`` (deterministic trace, the default) or
     ``"wall"`` (real profiling). Artifact emission is off by default —
     synthesizing every variant's bitstream dominates runtime and adds
-    nothing to the trace shape.
+    nothing to the trace shape. ``workers`` widens the DSE evaluation
+    pool without changing any output (including the trace digest).
     """
     from repro.platform.topology import build_reference_ecosystem
     from repro.runtime.orchestrator import Orchestrator
@@ -115,6 +117,7 @@ def run_traced(
     with observe(obs):
         compiler = EverestCompiler(
             strategy=strategy, emit_artifacts=emit_artifacts,
+            workers=workers,
         )
         app = compiler.compile(pipeline)
         ecosystem = build_reference_ecosystem()

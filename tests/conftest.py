@@ -5,8 +5,23 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.dse.cache import clear_caches, configure
 from repro.core.dsl.kernel_dsl import compile_kernel
 from repro.core.ir.module import Module
+
+
+@pytest.fixture(autouse=True)
+def _isolated_dse_caches(tmp_path, monkeypatch):
+    """Fresh DSE caches per test, and no writes to the real on-disk
+    cache: ``default_cache_dir()`` is redirected into ``tmp_path`` and
+    the process-global caches are reset to memory-only before and
+    after each test."""
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg-cache"))
+    configure(cache_dir=None)
+    clear_caches()
+    yield
+    configure(cache_dir=None)
+    clear_caches()
 
 GEMM_SRC = """
 kernel gemm(A: tensor<16x16xf32>, B: tensor<16x16xf32>)

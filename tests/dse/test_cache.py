@@ -1,0 +1,259 @@
+"""The content-addressed DSE caches.
+
+The headline regression here reproduces the bug that motivated them:
+the old prepared-variant cache was keyed by ``id(module)``, so once a
+module was garbage-collected and the interpreter recycled its id for a
+*different* module, the cache served the stale prepared body of the
+dead module. Content digests make that aliasing impossible.
+"""
+
+import gc
+
+import pytest
+
+from repro.core.dse.cache import (
+    CostCache,
+    PreparedModuleCache,
+    clear_caches,
+    configure,
+    cost_cache,
+    default_cache_dir,
+    prepared_cache,
+)
+from repro.core.dse.cost_model import (
+    ArchitectureModel,
+    evaluate_variant,
+    prepare_variant_module,
+)
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.core.ir import module_digest
+from repro.core.ir.module import Module
+from repro.core.ir.printer import print_module
+from repro.core.variants import CostEstimate, VariantKnobs
+from repro.errors import DSEError
+
+ADD_SRC = """
+kernel k(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = X + X
+  return Y
+}
+"""
+
+MUL_SRC = """
+kernel k(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = X * X
+  return Y
+}
+"""
+
+
+def materialize_at_recycled_id(template, old_id):
+    """A distinct :class:`Module` carrying ``template``'s content,
+    allocated at the dead module's recycled ``id``.
+
+    Bare ``Module`` allocations land in the same CPython size class as
+    the freed object, so marching through fresh blocks (mismatches are
+    kept alive) reaches the recycled address almost immediately.
+    """
+    hold = []
+    for _ in range(200_000):
+        candidate = object.__new__(Module)
+        if id(candidate) == old_id:
+            candidate.op = template.op
+            return candidate
+        hold.append(candidate)
+    return None
+
+
+class TestStaleIdentityRegression:
+    def test_recycled_module_id_cannot_alias_cache_entries(self):
+        """A new module at a dead module's recycled ``id`` must never
+        be served the dead module's prepared body."""
+        knobs = VariantKnobs(target="fpga", unroll=2)
+        module_a = compile_kernel(ADD_SRC)
+        prepared_a_text = print_module(
+            prepare_variant_module(module_a, "k", knobs)
+        )
+        template = compile_kernel(MUL_SRC)  # allocate before freeing
+        old_id = id(module_a)
+        del module_a
+        gc.collect()
+
+        recycled = materialize_at_recycled_id(template, old_id)
+        if recycled is None:
+            pytest.skip("interpreter never recycled the module id")
+
+        prepared_b = prepare_variant_module(recycled, "k", knobs)
+        prepared_b_text = print_module(prepared_b)
+        assert prepared_b_text != prepared_a_text
+        assert "mul" in prepared_b_text
+
+    def test_recycled_id_cannot_alias_cost_entries(self):
+        """Same hazard for the cost cache: costs belong to content."""
+        knobs = VariantKnobs(target="cpu", threads=4, tile=8)
+        heavy = compile_kernel("""
+kernel k(A: tensor<32x32xf32>, B: tensor<32x32xf32>)
+        -> tensor<32x32xf32> {
+  C = A @ B
+  return C
+}
+""")
+        heavy_cost = evaluate_variant(heavy, "k", knobs)
+        template = compile_kernel(ADD_SRC)  # allocate before freeing
+        old_id = id(heavy)
+        del heavy
+        gc.collect()
+
+        recycled = materialize_at_recycled_id(template, old_id)
+        if recycled is None:
+            pytest.skip("interpreter never recycled the module id")
+
+        light_cost = evaluate_variant(recycled, "k", knobs)
+        assert light_cost.latency_s != heavy_cost.latency_s
+
+    def test_equal_content_modules_share_entries(self):
+        """Two distinct objects with identical content hit one entry —
+        the flip side of content addressing (an id key would miss)."""
+        knobs = VariantKnobs(target="fpga", unroll=2)
+        first = compile_kernel(ADD_SRC)
+        second = compile_kernel(ADD_SRC)
+        assert first is not second
+        assert module_digest(first) == module_digest(second)
+
+        prepared_first = prepare_variant_module(first, "k", knobs)
+        before = prepared_cache().stats.snapshot()
+        prepared_second = prepare_variant_module(second, "k", knobs)
+        delta = prepared_cache().stats.delta(before)
+        assert prepared_second is prepared_first
+        assert delta.hits == 1 and delta.misses == 0
+
+
+class TestPreparedModuleCache:
+    def test_lru_evicts_oldest(self, gemm_module):
+        cache = PreparedModuleCache(capacity=2)
+        cache.put(("a",), gemm_module)
+        cache.put(("b",), gemm_module)
+        cache.get(("a",))  # refresh: "b" is now the oldest
+        cache.put(("c",), gemm_module)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is gemm_module
+        assert cache.stats.evictions == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(DSEError):
+            PreparedModuleCache(capacity=0)
+
+    def test_clear_reports_count(self, gemm_module):
+        cache = PreparedModuleCache()
+        cache.put(("a",), gemm_module)
+        cache.put(("b",), gemm_module)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestCostCache:
+    def make_cost(self, latency=1.0):
+        return CostEstimate(latency_s=latency, energy_j=2.0,
+                            data_bytes=64, feasible=True)
+
+    def test_get_returns_fresh_copies(self):
+        """The explorer mutates feasibility in place; a shared cached
+        instance would poison every later lookup."""
+        cache = CostCache()
+        cache.put("k1", self.make_cost())
+        first = cache.get("k1")
+        first.feasible = False
+        first.infeasible_reason = "violates latency requirement"
+        second = cache.get("k1")
+        assert second.feasible is True
+        assert second.infeasible_reason == ""
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        """A second process (modeled by a fresh instance) reads costs
+        the first wrote — the cross-invocation warm start."""
+        writer = CostCache(directory=tmp_path / "cc")
+        writer.put("deadbeef", self.make_cost(latency=3.5))
+        reader = CostCache(directory=tmp_path / "cc")
+        cost = reader.get("deadbeef")
+        assert cost is not None and cost.latency_s == 3.5
+        assert reader.stats.hits == 1
+
+    def test_incompatible_version_ignored(self, tmp_path):
+        cache = CostCache(directory=tmp_path / "cc")
+        cache.put("deadbeef", self.make_cost())
+        path = cache._path_for("deadbeef")
+        path.write_text(path.read_text().replace(
+            '"version": "1"', '"version": "0"'
+        ))
+        fresh = CostCache(directory=tmp_path / "cc")
+        assert fresh.get("deadbeef") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = CostCache(directory=tmp_path / "cc")
+        cache.put("deadbeef", self.make_cost())
+        cache._path_for("deadbeef").write_text("{not json")
+        fresh = CostCache(directory=tmp_path / "cc")
+        assert fresh.get("deadbeef") is None
+
+    def test_disabled_cache_never_hits(self):
+        cache = CostCache(enabled=False)
+        cache.put("k", self.make_cost())
+        assert cache.get("k") is None
+        assert cache.stats.lookups == 0
+
+    def test_clear_removes_memory_and_disk(self, tmp_path):
+        cache = CostCache(directory=tmp_path / "cc")
+        cache.put("aa" * 32, self.make_cost())
+        cache.put("bb" * 32, self.make_cost())
+        assert cache.entry_count() == 2
+        assert cache.disk_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+    def test_key_is_sensitive_to_every_component(self):
+        knobs = VariantKnobs(target="fpga", unroll=2)
+        other_knobs = VariantKnobs(target="fpga", unroll=4)
+        model = ArchitectureModel()
+        other_model = ArchitectureModel(cpu_efficiency=0.25)
+        base = CostCache.key("d1", "k", knobs, model.fingerprint())
+        assert base == CostCache.key("d1", "k", knobs,
+                                     model.fingerprint())
+        assert base != CostCache.key("d2", "k", knobs,
+                                     model.fingerprint())
+        assert base != CostCache.key("d1", "other", knobs,
+                                     model.fingerprint())
+        assert base != CostCache.key("d1", "k", other_knobs,
+                                     model.fingerprint())
+        assert base != CostCache.key("d1", "k", knobs,
+                                     other_model.fingerprint())
+
+    def test_model_fingerprint_ignores_transfer_statistics(self):
+        """Link traffic counters mutate during simulation; they must
+        not change cost-cache identity."""
+        model = ArchitectureModel()
+        before = model.fingerprint()
+        model.fpga_link.bytes_transferred += 4096
+        model.fpga_link.messages += 1
+        assert model.fingerprint() == before
+
+
+class TestProcessWideConfiguration:
+    def test_default_cache_dir_honors_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-dse"
+
+    def test_configure_replaces_cost_cache(self, tmp_path):
+        replaced = configure(cache_dir=tmp_path / "cc")
+        assert cost_cache() is replaced
+        assert replaced.directory == tmp_path / "cc"
+        configure(cache_dir=None)
+        assert cost_cache().directory is None
+
+    def test_clear_caches_counts_both_layers(self, gemm_module):
+        knobs = VariantKnobs(target="fpga", unroll=2)
+        evaluate_variant(gemm_module, "gemm", knobs)
+        assert len(prepared_cache()) > 0
+        assert cost_cache().entry_count() > 0
+        assert clear_caches() >= 2
+        assert len(prepared_cache()) == 0
+        assert cost_cache().entry_count() == 0

@@ -97,8 +97,22 @@ class TestPareto:
         assert knee_point([fast, frugal, balanced]) is balanced
 
     def test_knee_point_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DSEError, match="no feasible variants"):
             knee_point([make_variant(1, 1, feasible=False)])
+
+    def test_best_by_empty_raises(self):
+        with pytest.raises(DSEError, match="no feasible variants"):
+            best_by([make_variant(1, 1, feasible=False)],
+                    lambda v: v.cost.latency_s)
+
+    def test_no_feasible_error_carries_dse001(self):
+        try:
+            knee_point([])
+        except DSEError as exc:
+            codes = [d.code for d in exc.diagnostics.items]
+            assert codes == ["DSE001"]
+        else:
+            pytest.fail("expected DSEError")
 
     def test_best_by(self):
         a = make_variant(1.0, 9.0)

@@ -68,21 +68,35 @@ class TestRunTraced:
         assert validate_chrome_trace(tracer.to_chrome()) == []
         categories = {event.category for event in tracer.events}
         assert "compiler.phase" in categories
-        assert "compiler.pass" in categories
         assert "dse.explore" in categories
         assert "runtime.orchestrate" in categories
         assert "workflow.task" in categories
 
+    def test_trace_has_dse_batch_spans(self, spec_file):
+        tracer = run_traced(spec_file).observation.tracer
+        names = {event.name for event in tracer.events}
+        assert any(name.startswith("batch:") for name in names)
+
     def test_logical_clock_runs_are_byte_identical(self, spec_file):
+        # The second run hits the warm in-process cost cache; pricing
+        # is hermetic, so the trace must not change.
         first = run_traced(spec_file).observation.tracer.to_json()
         second = run_traced(spec_file).observation.tracer.to_json()
         assert first == second
 
+    def test_parallel_run_trace_matches_serial(self, spec_file):
+        serial = run_traced(spec_file).observation.tracer.to_json()
+        wide = run_traced(
+            spec_file, workers=4
+        ).observation.tracer.to_json()
+        assert serial == wide
+
     def test_metrics_cover_all_layers(self, spec_file):
         metrics = run_traced(spec_file).observation.metrics
         names = metrics.names()
-        assert "compiler.pass_seconds" in names
         assert "dse.evaluations" in names
+        assert "dse.cache_hits" in names
+        assert "dse.cache_misses" in names
         assert "workflow.tasks_executed" in names
         assert "runtime.deployments" in names
 
