@@ -12,7 +12,16 @@ Subcommands::
     python -m repro trace    SPEC --out trace.json [--clock logical|wall]
     python -m repro metrics  SPEC [--format text|json]
     python -m repro cache    stats|clear [--cache-dir PATH]
+    python -m repro runs     list|show|gc [RUN_ID] [--journal-dir PATH]
     python -m repro info
+
+``chaos`` and ``run`` accept ``--journal-dir``/``--run-id`` to make
+the execution durable (a write-ahead journal plus periodic snapshots
+under the run store) and ``--resume RUN_ID`` to pick a killed run back
+up: the recipe is reloaded from the store, the journal is replayed,
+and only work that never reached its journaled execution point is
+re-executed — the resumed trace digest is byte-identical to an
+unbroken run. ``repro runs`` inspects and garbage-collects the store.
 
 Commands that price design points (compile, explore, synth, emit, run,
 trace, metrics) share a persistent content-addressed cost cache
@@ -207,7 +216,7 @@ def cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _chaos_run(args: argparse.Namespace):
+def _chaos_run(args: argparse.Namespace, journal=None, resume=None):
     """One deterministic chaos run for the given seed pair."""
     from repro.chaos import (
         ChaosConfig,
@@ -234,8 +243,59 @@ def _chaos_run(args: argparse.Namespace):
         args.fault_seed, config,
     )
     server = ResilientServer(workers, policy=make_policy(args.policy))
-    trace, stats = server.run(graph, chaos=schedule)
+    trace, stats = server.run(
+        graph, chaos=schedule, journal=journal, resume=resume,
+    )
     return graph, schedule, trace, stats
+
+
+#: The argparse fields that fully determine a chaos run — persisted in
+#: the run store's meta.json and restored verbatim on --resume.
+_CHAOS_RECIPE_KEYS = (
+    "graph_seed", "fault_seed", "tasks", "workers", "policy",
+    "crashes", "link_faults", "reconfig_faults", "stragglers",
+    "task_faults",
+)
+
+#: Ditto for `repro run` deployments.
+_RUN_RECIPE_KEYS = ("file", "strategy", "clock", "workers")
+
+
+def _open_durable_run(args: argparse.Namespace, kind: str,
+                      recipe_keys) -> tuple:
+    """Resolve the journal flags into ``(run_id, journal, resume)``.
+
+    With ``--resume`` the run's persisted recipe overwrites the
+    matching argparse fields, so the caller rebuilds the exact graph /
+    pool / schedule the journal was written against. With
+    ``--journal-dir`` / ``--run-id`` a fresh durable run is registered
+    (recipe first, then journal) before any execution. Without any of
+    the flags, returns ``(None, None, None)`` — plain volatile run.
+    """
+    from repro.workflow import RunStore
+
+    if not (args.journal_dir or args.run_id or args.resume):
+        return None, None, None
+    store = RunStore(args.journal_dir)
+    if args.resume:
+        meta, state, journal = store.prepare_resume(
+            args.resume, snapshot_every=args.snapshot_every,
+        )
+        if meta.get("kind") != kind:
+            journal.close()
+            raise SystemExit(
+                f"run {args.resume!r} was recorded by "
+                f"`repro {meta.get('kind')}`; resume it there"
+            )
+        for key, value in meta.get("meta", {}).items():
+            setattr(args, key, value)
+        return args.resume, journal, state
+    recipe = {key: getattr(args, key) for key in recipe_keys}
+    run_id, journal = store.create_run(
+        kind, recipe, run_id=args.run_id,
+        snapshot_every=args.snapshot_every,
+    )
+    return run_id, journal, None
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -349,15 +409,31 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Replay a seeded chaos scenario and report the outcome."""
     from repro.obs import observe, session
 
+    run_id, journal, resume = _open_durable_run(
+        args, "chaos", _CHAOS_RECIPE_KEYS
+    )
+    if resume is not None and resume.finished:
+        journal.close()
+        print(f"run {run_id} already complete: "
+              f"trace digest {resume.digest}")
+        return 0
     obs = None
-    if args.trace or args.sanitize:
-        obs = session(deterministic=True)
-        with observe(obs):
-            graph, schedule, trace, stats = _chaos_run(args)
-        if args.trace:
-            obs.tracer.write(args.trace)
-    else:
-        graph, schedule, trace, stats = _chaos_run(args)
+    try:
+        if args.trace or args.sanitize:
+            obs = session(deterministic=True)
+            with observe(obs):
+                graph, schedule, trace, stats = _chaos_run(
+                    args, journal=journal, resume=resume,
+                )
+            if args.trace:
+                obs.tracer.write(args.trace)
+        else:
+            graph, schedule, trace, stats = _chaos_run(
+                args, journal=journal, resume=resume,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     sanitize_header = (
         f"sanitize: chaos graph-seed={args.graph_seed} "
         f"fault-seed={args.fault_seed}"
@@ -385,6 +461,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     table.add_row("backoff seconds", f"{stats.backoff_seconds:.3f}")
     table.add_row("trace digest", trace.digest())
     table.show()
+    if run_id:
+        print(f"run id: {run_id}")
     if args.verify_replay:
         _graph2, _schedule2, replay, _stats2 = _chaos_run(args)
         if replay.to_json() != trace.to_json():
@@ -403,11 +481,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Compile a spec and deploy it on the reference ecosystem."""
     from repro.obs.driver import run_traced
 
-    _configure_dse_caches(args)
-    run = run_traced(
-        args.file, clock=args.clock, strategy=args.strategy,
-        workers=args.workers,
+    run_id, journal, resume = _open_durable_run(
+        args, "run", _RUN_RECIPE_KEYS
     )
+    if resume is not None and resume.finished:
+        journal.close()
+        print(f"run {run_id} already complete: "
+              f"trace digest {resume.digest}")
+        return 0
+    _configure_dse_caches(args)
+    try:
+        run = run_traced(
+            args.file, clock=args.clock, strategy=args.strategy,
+            workers=args.workers, journal=journal, resume=resume,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     report = run.report
     table = Table(
         f"deployment of {args.file}",
@@ -423,6 +513,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"makespan: {report.makespan * 1e3:.4f} ms  "
           f"energy: {report.energy.total_joules:.4f} J  "
           f"trace digest: {report.trace.digest()}")
+    if run_id:
+        print(f"run id: {run_id}")
     if args.trace:
         run.observation.tracer.write(args.trace)
         print(f"chrome trace written to {args.trace}")
@@ -497,6 +589,66 @@ def cmd_cache(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown cache action {args.action!r}")
 
 
+def cmd_runs(args: argparse.Namespace) -> int:
+    """List, inspect or garbage-collect durable journaled runs."""
+    from repro.workflow import RunStore
+
+    store = RunStore(args.journal_dir)
+    if args.action == "list":
+        rows = store.list_runs()
+        table = Table(
+            f"durable runs in {store.root}",
+            ["run id", "kind", "status", "records", "attempts",
+             "digest"],
+        )
+        for row in rows:
+            table.add_row(
+                row.run_id, row.kind, row.status,
+                row.info.records_total, row.attempts,
+                row.state.digest or "-",
+            )
+        table.show()
+        return 0
+    if args.action == "show":
+        if not args.run_id:
+            raise SystemExit("repro runs show needs a RUN_ID")
+        meta = store.load_meta(args.run_id)
+        state, info = store.load_state(args.run_id)
+        table = Table(f"run {args.run_id}", ["property", "value"])
+        table.add_row("kind", meta.get("kind", "?"))
+        table.add_row("attempts", meta.get("attempts", 1))
+        table.add_row(
+            "status", "complete" if state.finished else "in-flight"
+        )
+        table.add_row("journal records", info.records_total)
+        table.add_row("replayed after snapshot", info.records_replayed)
+        table.add_row(
+            "snapshot seq",
+            info.snapshot_seq if info.snapshot_seq >= 0 else "-",
+        )
+        table.add_row("torn tail", info.torn_tail)
+        table.add_row("payload executions",
+                      sum(state.exec_counts.values()))
+        table.add_row("task completions", state.total_completions())
+        table.add_row("faults seen", state.faults)
+        table.add_row("recoveries", state.recoveries)
+        table.add_row("checkpoints", len(state.checkpoints))
+        table.add_row("sim time s", f"{state.last_time:.4f}")
+        table.add_row("digest", state.digest or "-")
+        for key, value in sorted(meta.get("meta", {}).items()):
+            table.add_row(f"recipe: {key}", value)
+        table.show()
+        return 0
+    if args.action == "gc":
+        removed = store.gc(completed_only=not args.all)
+        kinds = "run(s)" if args.all else "completed run(s)"
+        print(f"removed {len(removed)} {kinds} from {store.root}")
+        for run_id in removed:
+            print(f"  {run_id}")
+        return 0
+    raise SystemExit(f"unknown runs action {args.action!r}")
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """Print the SDK inventory (dialects, default target)."""
     from repro.core.ir.dialects import registered_dialects
@@ -537,6 +689,29 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=1, metavar="N",
             help="evaluate DSE batches on N threads; any value "
                  "produces identical results (default: 1)",
+        )
+
+    def add_journal_flags(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--journal-dir", metavar="PATH", default=None,
+            help="run-store root for the durable write-ahead journal "
+                 "(default: ~/.local/state/repro-runs, XDG aware); "
+                 "giving any journal flag enables journaling",
+        )
+        command_parser.add_argument(
+            "--run-id", metavar="ID", default=None,
+            help="name the journaled run (default: generated)",
+        )
+        command_parser.add_argument(
+            "--snapshot-every", type=int, default=100, metavar="N",
+            help="snapshot the replay state every N journaled events "
+                 "so resume cost is O(tail) (default: 100)",
+        )
+        command_parser.add_argument(
+            "--resume", metavar="RUN_ID", default=None,
+            help="resume a killed journaled run: reload its recipe, "
+                 "replay the journal and re-execute only work that "
+                 "never reached its journaled execution point",
         )
 
     p_compile = sub.add_parser(
@@ -648,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--suppress", action="append", default=[], metavar="CODE",
         help="drop sanitizer findings with this code (repeatable)",
     )
+    add_journal_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_run = sub.add_parser(
@@ -680,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workers_flag(p_run)
     add_cache_flags(p_run)
+    add_journal_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(
@@ -728,6 +905,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: ~/.cache/repro-dse, XDG aware)",
     )
     p_cache.set_defaults(func=cmd_cache)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="list, inspect or garbage-collect durable journaled runs",
+    )
+    p_runs.add_argument(
+        "action", choices=("list", "show", "gc"),
+        help="list: one row per run; show: full state of one run; "
+             "gc: delete completed runs (--all: every run)",
+    )
+    p_runs.add_argument(
+        "run_id", nargs="?", default=None,
+        help="run id (required by show)",
+    )
+    p_runs.add_argument(
+        "--journal-dir", metavar="PATH", default=None,
+        help="run-store root (default: ~/.local/state/repro-runs, "
+             "XDG aware)",
+    )
+    p_runs.add_argument(
+        "--all", action="store_true",
+        help="gc: also remove in-flight (crashed, resumable) runs",
+    )
+    p_runs.set_defaults(func=cmd_runs)
 
     p_info = sub.add_parser("info", help="SDK inventory")
     p_info.set_defaults(func=cmd_info)

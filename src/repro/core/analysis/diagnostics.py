@@ -68,6 +68,9 @@ CODES: Dict[str, str] = {
     "WF004": "data object is produced by more than one task",
     "WF005": "duplicate task name",
     "WF006": "task is unreachable (depends on an unproducible object)",
+    "WF007": "workflow run journal is corrupt",
+    "WF008": "workflow journal/snapshot version skew",
+    "WF009": "resume state does not match the run recipe",
     # pass pipeline
     "PM001": "module became invalid after a pass",
     "PM002": "analysis found errors after a pass",

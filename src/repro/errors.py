@@ -107,3 +107,15 @@ class SecurityError(RuntimeSystemError):
 
 class WorkflowError(EverestError):
     """The distributed workflow engine rejected a graph or execution."""
+
+
+class JournalError(WorkflowError):
+    """A workflow run journal or snapshot is unusable.
+
+    Raised for mid-file corruption (WF007), format version skew
+    (WF008) and resume/recipe mismatches (WF009). When raised with a
+    stable code the ``code`` attribute carries it and ``diagnostics``
+    holds the matching collection.
+    """
+
+    code: str = ""

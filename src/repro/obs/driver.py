@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.analysis.specs import extract_kernel_sources
 from repro.core.compiler import CompiledApplication, EverestCompiler
@@ -95,6 +95,8 @@ def run_traced(
     strategy: str = "exhaustive",
     emit_artifacts: bool = False,
     workers: int = 1,
+    journal: Optional["RunJournal"] = None,
+    resume: Optional["ReplayState"] = None,
 ) -> TracedRun:
     """Compile and deploy a spec under an observation session.
 
@@ -103,6 +105,8 @@ def run_traced(
     synthesizing every variant's bitstream dominates runtime and adds
     nothing to the trace shape. ``workers`` widens the DSE evaluation
     pool without changing any output (including the trace digest).
+    ``journal``/``resume`` make the workflow stage durable and
+    resumable (see :mod:`repro.workflow.journal`).
     """
     from repro.platform.topology import build_reference_ecosystem
     from repro.runtime.orchestrator import Orchestrator
@@ -121,5 +125,7 @@ def run_traced(
         )
         app = compiler.compile(pipeline)
         ecosystem = build_reference_ecosystem()
-        report = Orchestrator(ecosystem).deploy(app)
+        report = Orchestrator(ecosystem).deploy(
+            app, journal=journal, resume=resume,
+        )
     return TracedRun(observation=obs, app=app, report=report)

@@ -133,6 +133,11 @@ class Tracer:
         self.detailed = detailed
         self.clock = clock or WallClock()
         self.events: List[TraceEvent] = []
+        #: Optional callback invoked synchronously with every event
+        #: this tracer records itself (not absorbed ones) — the hook a
+        #: write-ahead journal uses to persist transitions before
+        #: execution proceeds.
+        self.sink: Optional[Any] = None
         self._next_span_id = 1
         self._next_pid = 2
         self._pid = 1
@@ -151,6 +156,12 @@ class Tracer:
             tid = len([k for k in self._tids if k[0] == self._pid])
             self._tids[key] = tid
         return tid
+
+    def _emit(self, event: TraceEvent) -> None:
+        """Record an event and feed the sink, if one is attached."""
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
 
     def span(self, name: str, category: str = "",
              track: str = MAIN_TRACK, **args: Any):
@@ -177,7 +188,7 @@ class Tracer:
         stack = self._stacks.get((self._pid, tid), [])
         if stack and stack[-1] == span.span_id:
             stack.pop()
-        self.events.append(TraceEvent(
+        self._emit(TraceEvent(
             phase="X", name=span.name, category=span.category,
             ts=span._start, dur=end - span._start, pid=self._pid,
             tid=tid, scale=self.clock.scale, span_id=span.span_id,
@@ -198,7 +209,7 @@ class Tracer:
             return
         span_id = self._next_span_id
         self._next_span_id += 1
-        self.events.append(TraceEvent(
+        self._emit(TraceEvent(
             phase="X", name=name, category=category, ts=start_ts,
             dur=end_ts - start_ts, pid=self._pid, tid=self._tid(track),
             scale=self.clock.scale, span_id=span_id, args=dict(args),
@@ -210,7 +221,7 @@ class Tracer:
         """Record a point event (at ``ts``, or the clock's now)."""
         if not self.enabled:
             return
-        self.events.append(TraceEvent(
+        self._emit(TraceEvent(
             phase="i", name=name, category=category,
             ts=self.clock.now() if ts is None else ts,
             pid=self._pid, tid=self._tid(track),
@@ -222,7 +233,7 @@ class Tracer:
         """Sample a numeric series (rendered as a counter lane)."""
         if not self.enabled:
             return
-        self.events.append(TraceEvent(
+        self._emit(TraceEvent(
             phase="C", name=name, category=category,
             ts=self.clock.now(), pid=self._pid,
             tid=self._tid(track), scale=self.clock.scale,

@@ -34,12 +34,14 @@ from repro.runtime.autotuner.manager import (
 )
 from repro.runtime.scheduler import TierPlacer
 from repro.workflow.graph import TaskGraph
+from repro.workflow.journal import RunJournal
 from repro.workflow.plan import build_task_graph
 from repro.workflow.recovery import (
     FailureInjection,
     RecoveryStats,
     ResilientServer,
 )
+from repro.workflow.replay import ReplayState
 from repro.workflow.scheduler import LocalityScheduler
 from repro.workflow.tracing import ExecutionTrace
 from repro.workflow.worker import Worker
@@ -145,8 +147,15 @@ class Orchestrator:
         data_locality: Optional[Dict[str, str]] = None,
         failures: Optional[List[FailureInjection]] = None,
         rounds: int = 1,
+        journal: Optional[RunJournal] = None,
+        resume: Optional[ReplayState] = None,
     ) -> DeploymentReport:
-        """Place, select and execute; returns the deployment report."""
+        """Place, select and execute; returns the deployment report.
+
+        ``journal``/``resume`` make the workflow execution durable and
+        resumable (see :mod:`repro.workflow.journal`); they apply to
+        the first round only — later rounds are warm re-runs.
+        """
         if rounds < 1:
             raise RuntimeSystemError("rounds must be >= 1")
         tracer = current_tracer()
@@ -185,6 +194,8 @@ class Orchestrator:
                 trace, stats = server.run(
                     graph,
                     failures=failures if _round == 0 else None,
+                    journal=journal if _round == 0 else None,
+                    resume=resume if _round == 0 else None,
                 )
                 for record in trace.records:
                     worker = next(

@@ -31,6 +31,14 @@ from repro.workflow.tracing import (
     RecoveryRecord,
     TaskRecord,
 )
+from repro.workflow.journal import (
+    RunJournal,
+    read_records,
+    replay_journal,
+    rollback_journal,
+)
+from repro.workflow.replay import PayloadSkipper, ReplayState
+from repro.workflow.runstore import RunInfo, RunStore, default_runs_dir
 
 __all__ = [
     "TaskGraph",
@@ -51,4 +59,13 @@ __all__ = [
     "TaskRecord",
     "FaultRecord",
     "RecoveryRecord",
+    "RunJournal",
+    "ReplayState",
+    "PayloadSkipper",
+    "RunStore",
+    "RunInfo",
+    "read_records",
+    "replay_journal",
+    "rollback_journal",
+    "default_runs_dir",
 ]

@@ -8,6 +8,8 @@ carry sizes so schedulers can reason about movement cost.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
@@ -180,6 +182,42 @@ class TaskGraph:
     def total_work(self) -> float:
         """Sum of all task durations (serial execution time)."""
         return sum(task.duration_s for task in self.tasks.values())
+
+    def digest(self) -> str:
+        """Content hash of the graph's structure, sizes and durations.
+
+        Excludes payload callables (not serializable, not part of the
+        schedule); two graphs with equal digests execute identically
+        under a given pool and policy, which is what lets a resumed
+        run verify it was rebuilt from the same recipe (WF009).
+        """
+        payload = {
+            "name": self.name,
+            "tasks": [
+                {
+                    "name": task.name,
+                    "inputs": list(task.inputs),
+                    "outputs": list(task.outputs),
+                    "updates": list(task.updates),
+                    "duration_s": task.duration_s,
+                    "cpus": task.cpus,
+                    "kernel": task.kernel,
+                }
+                for _, task in sorted(self.tasks.items())
+            ],
+            "objects": [
+                {
+                    "name": obj.name,
+                    "size_bytes": obj.size_bytes,
+                    "producer": obj.producer,
+                    "locality": obj.locality,
+                }
+                for _, obj in sorted(self.objects.items())
+            ],
+        }
+        serialized = json.dumps(payload, sort_keys=True,
+                                separators=(",", ":"))
+        return hashlib.sha256(serialized.encode()).hexdigest()[:16]
 
     def external_inputs(self) -> List[DataObject]:
         """Objects with no producer (fed from outside)."""

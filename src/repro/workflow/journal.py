@@ -1,0 +1,521 @@
+"""Durable write-ahead event journal for workflow runs.
+
+Every state transition a workflow server makes — task dispatched,
+staged, executed, completed, fault injected, recovery action taken —
+is appended to a run's journal as one JSONL record before the run
+moves on, so a process crash at *any* point leaves a prefix of the
+truth on disk. A crashed run is resumed by replaying the journal into
+a :class:`~repro.workflow.replay.ReplayState` and re-executing the
+(deterministic) run with that state: already-executed task payloads
+are skipped, and the resumed trace digest is byte-identical to an
+unbroken run's.
+
+Format — one record per line::
+
+    {"seq": N, "type": T, "data": {...}, "crc": "<12 hex>"}
+
+``crc`` is a truncated SHA-256 over the canonical serialization of
+the record *without* the crc field. Records are appended with a
+single ``write`` + ``flush`` each (so a torn write can only be the
+final line) and fsync'd per the journal's ``fsync`` policy. The
+reader tolerates a torn *final* record — the tail of an append cut
+short by a crash — but a corrupt or out-of-sequence record anywhere
+else raises a ``WF007`` diagnostic naming the byte offset, and a
+journal or snapshot written by a different format version is rejected
+with ``WF008``.
+
+Periodic snapshots (``snapshot-<seq>.json`` beside the journal)
+capture the folded :class:`ReplayState` so resume cost is O(tail),
+not O(history); :meth:`RunJournal.checkpoint` places a named marker +
+snapshot around risky tasks and :func:`rollback_journal` truncates
+the run back to one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import JournalError
+from repro.workflow.replay import (
+    JOURNAL_CATEGORY,
+    ReplayState,
+    apply_record,
+    replay_records,
+)
+
+#: Format version stamped into every journal header record.
+JOURNAL_VERSION = 1
+#: Format version stamped into every snapshot file.
+SNAPSHOT_VERSION = 1
+
+#: Journal file name inside a run directory.
+JOURNAL_FILE = "journal.jsonl"
+
+#: Accepted ``fsync`` policies for :class:`RunJournal`.
+FSYNC_MODES = ("always", "snapshot", "never")
+
+
+def journal_error(code: str, message: str, anchor: str) -> JournalError:
+    """A :class:`JournalError` carrying a WF00x diagnostic.
+
+    Mirrors the simulator's diagnosed-error contract: the exception
+    message leads with the stable code and the attached
+    ``diagnostics`` collection gives tooling the code and anchor.
+    """
+    # imported lazily: the journal must stay importable without the
+    # whole analysis stack
+    from repro.core.analysis.diagnostics import Diagnostics
+
+    diagnostics = Diagnostics()
+    diagnostics.error(code, message, anchor=anchor, analysis="journal")
+    exc = JournalError(f"{code}: {message}")
+    exc.code = code
+    exc.diagnostics = diagnostics
+    return exc
+
+
+# ---------------------------------------------------------------------------
+# record encoding
+
+
+def _canonical(payload: Dict) -> str:
+    """Deterministic serialization shared by writer and checksums."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(text: str) -> str:
+    """Truncated SHA-256 of the canonical record body."""
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def encode_record(seq: int, kind: str, data: Dict) -> str:
+    """One journal line (no trailing newline) for a record.
+
+    The crc is spliced into the serialized body rather than re-dumping
+    the whole record — this sits on the hot path of every journaled
+    event (readers pop the crc before verifying, so its position in
+    the object is immaterial).
+    """
+    canonical = _canonical({"seq": seq, "type": kind, "data": data})
+    return f'{canonical[:-1]},"crc":"{_checksum(canonical)}"}}'
+
+
+def decode_line(line: str) -> Dict:
+    """Parse and verify one journal line; raises ValueError if bad."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError("record is not an object")
+    crc = record.pop("crc", None)
+    expected = _checksum(_canonical(
+        {"seq": record["seq"], "type": record["type"],
+         "data": record["data"]}
+    ))
+    if crc != expected:
+        raise ValueError(f"checksum mismatch ({crc!r} != {expected!r})")
+    return record
+
+
+def read_records(path) -> Tuple[List[Dict], bool]:
+    """All valid records of a journal file, in order.
+
+    Returns ``(records, torn_tail)``. A final record that fails to
+    parse or checksum is a torn write — the crash interrupted the last
+    append — and is dropped with ``torn_tail=True``. Any earlier bad
+    record, or a sequence-number gap, is corruption: ``WF007`` names
+    the byte offset. A header from another format version raises
+    ``WF008``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], False
+    raw = path.read_bytes()
+    records: List[Dict] = []
+    offset = 0
+    entries = []  # (byte offset, line text)
+    for chunk in raw.split(b"\n"):
+        if chunk:
+            entries.append((offset, chunk))
+        offset += len(chunk) + 1
+    for index, (start, chunk) in enumerate(entries):
+        try:
+            record = decode_line(chunk.decode("utf-8", "strict"))
+            if record["seq"] != len(records):
+                raise ValueError(
+                    f"sequence gap: expected {len(records)}, "
+                    f"found {record['seq']}"
+                )
+        except (ValueError, KeyError, TypeError,
+                UnicodeDecodeError) as exc:
+            if index == len(entries) - 1:
+                return records, True  # torn final append
+            raise journal_error(
+                "WF007",
+                f"corrupt journal record at byte offset {start} "
+                f"(record {len(records)}): {exc}",
+                anchor=str(path),
+            ) from exc
+        if record["type"] == "header":
+            version = record["data"].get("journal_version")
+            if version != JOURNAL_VERSION:
+                raise journal_error(
+                    "WF008",
+                    f"journal version skew: file is v{version}, "
+                    f"this build reads v{JOURNAL_VERSION}",
+                    anchor=str(path),
+                )
+        records.append(record)
+    return records, False
+
+
+# ---------------------------------------------------------------------------
+# snapshots
+
+
+def snapshot_path(directory, seq: int) -> Path:
+    """Snapshot file covering journal records ``0..seq``."""
+    return Path(directory) / f"snapshot-{seq:08d}.json"
+
+
+def list_snapshots(directory) -> List[Tuple[int, Path]]:
+    """(covered seq, path) of every snapshot file, newest first."""
+    directory = Path(directory)
+    found = []
+    if not directory.is_dir():
+        return found
+    for path in directory.glob("snapshot-*.json"):
+        stem = path.stem.split("-", 1)[-1]
+        try:
+            found.append((int(stem), path))
+        except ValueError:
+            continue
+    return sorted(found, reverse=True)
+
+
+def write_snapshot(directory, seq: int, state: ReplayState) -> Path:
+    """Atomically persist the state folded through record ``seq``."""
+    payload = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "journal_version": JOURNAL_VERSION,
+        "seq": seq,
+        "state": state.to_dict(),
+    }
+    canonical = _canonical(payload)
+    payload["crc"] = _checksum(canonical)
+    path = snapshot_path(directory, seq)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(_canonical(payload), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshot(path) -> Optional[Tuple[int, ReplayState]]:
+    """Load one snapshot file; None when torn/corrupt (fall back to
+    an older snapshot or a full replay), ``WF008`` on version skew."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        versions = (payload.get("snapshot_version"),
+                    payload.get("journal_version"))
+    except (OSError, ValueError):
+        return None
+    if versions != (SNAPSHOT_VERSION, JOURNAL_VERSION):
+        raise journal_error(
+            "WF008",
+            f"snapshot version skew: file is snapshot v{versions[0]} / "
+            f"journal v{versions[1]}, this build reads "
+            f"v{SNAPSHOT_VERSION}/v{JOURNAL_VERSION}",
+            anchor=str(path),
+        )
+    crc = payload.pop("crc", None)
+    if crc != _checksum(_canonical(payload)):
+        return None
+    try:
+        return payload["seq"], ReplayState.from_dict(payload["state"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# replay
+
+
+class ReplayInfo:
+    """How a replay reconstructed its state (for `runs show`/benchmarks)."""
+
+    def __init__(self, records_total: int, records_replayed: int,
+                 snapshot_seq: int, torn_tail: bool):
+        """Counts of journal records seen vs actually folded."""
+        self.records_total = records_total
+        self.records_replayed = records_replayed
+        self.snapshot_seq = snapshot_seq
+        self.torn_tail = torn_tail
+
+
+def replay_journal(directory, use_snapshots: bool = True
+                   ) -> Tuple[ReplayState, ReplayInfo]:
+    """Reconstruct a run directory's state: snapshot + journal tail.
+
+    Seeds from the newest intact snapshot whose covered seq is within
+    the journal (snapshots "from the future" — the journal was
+    truncated behind them — are ignored), then folds only the records
+    after it. ``use_snapshots=False`` forces a full fold; both paths
+    produce equal states (the property the durability suite pins).
+    """
+    directory = Path(directory)
+    records, torn = read_records(directory / JOURNAL_FILE)
+    last_seq = records[-1]["seq"] if records else -1
+    state: Optional[ReplayState] = None
+    after = -1
+    if use_snapshots:
+        for seq, path in list_snapshots(directory):
+            if seq > last_seq:
+                continue  # journal truncated behind this snapshot
+            loaded = read_snapshot(path)
+            if loaded is not None:
+                after, state = loaded
+                break
+    state = replay_records(records, state=state, after_seq=after)
+    info = ReplayInfo(
+        records_total=len(records),
+        records_replayed=len([r for r in records if r["seq"] > after]),
+        snapshot_seq=after,
+        torn_tail=torn,
+    )
+    return state, info
+
+
+def rollback_journal(directory, label: str) -> ReplayState:
+    """Truncate a run back to checkpoint ``label``.
+
+    Rewrites the journal to end at the (last) checkpoint record with
+    that label, drops snapshots taken after it, and returns the state
+    at the checkpoint. Raises ``WF007``-style :class:`JournalError`
+    when the label does not exist.
+    """
+    directory = Path(directory)
+    path = directory / JOURNAL_FILE
+    records, _torn = read_records(path)
+    cut = None
+    for record in records:
+        if (record["type"] == "checkpoint"
+                and record["data"].get("label") == label):
+            cut = record["seq"]
+    if cut is None:
+        raise journal_error(
+            "WF007",
+            f"rollback target {label!r} is not a checkpoint in this "
+            f"journal",
+            anchor=str(path),
+        )
+    kept = [r for r in records if r["seq"] <= cut]
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for record in kept:
+            handle.write(encode_record(
+                record["seq"], record["type"], record["data"]
+            ) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    for seq, snap in list_snapshots(directory):
+        if seq > cut:
+            snap.unlink()
+    return replay_records(kept)
+
+
+# ---------------------------------------------------------------------------
+# the writer facade the servers drive
+
+
+class RunJournal:
+    """Write-ahead journal for one workflow run.
+
+    The servers attach it to their simulated-time tracer
+    (:meth:`attach`); every tracer event is then journaled *before*
+    execution proceeds, and the journal maintains the folded
+    :class:`ReplayState` incrementally so snapshots are O(state), not
+    O(history).
+
+    ``fsync`` policies: ``"always"`` fsyncs every append (survives OS
+    crashes), ``"snapshot"`` (default) flushes every append — a torn
+    tail is the worst a *process* crash can do — and fsyncs at
+    snapshots, checkpoints and finish; ``"never"`` fsyncs only on
+    close.
+    """
+
+    def __init__(self, directory, snapshot_every: int = 100,
+                 fsync: str = "snapshot"):
+        """Create/open the journal under run directory ``directory``."""
+        if fsync not in FSYNC_MODES:
+            raise JournalError(
+                f"unknown fsync mode {fsync!r}; use one of "
+                f"{FSYNC_MODES}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_FILE
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self.state = ReplayState()
+        self._seq = 0
+        self._handle = None
+        self._tracer = None
+        self._suspended = False
+        self._since_snapshot = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def start(self, header: Dict) -> None:
+        """Write the header record (once) and begin accepting events."""
+        if self._started:
+            return
+        self._started = True
+        data = dict(header)
+        data["journal_version"] = JOURNAL_VERSION
+        self.append("header", data, sync=True)
+
+    def attach(self, tracer) -> None:
+        """Journal every event the tracer records from now on."""
+        self._tracer = tracer
+        tracer.sink = self.on_event
+
+    def detach(self) -> None:
+        """Stop journaling tracer events."""
+        if self._tracer is not None:
+            self._tracer.sink = None
+            self._tracer = None
+
+    def close(self) -> None:
+        """Flush, fsync and release the journal file."""
+        self.detach()
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        """Context-manager support: close on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the journal when the block exits."""
+        self.close()
+
+    # -- appends -------------------------------------------------------
+
+    def append(self, kind: str, data: Dict, sync: bool = False) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The line is written in a single ``write`` and flushed to the
+        OS before the caller proceeds, so the only record a crash can
+        damage is the final one — which replay tolerates.
+        """
+        self._ensure_open()
+        seq = self._seq
+        self._handle.write(encode_record(seq, kind, data) + "\n")
+        self._handle.flush()
+        if sync or self.fsync == "always":
+            os.fsync(self._handle.fileno())
+        self._seq += 1
+        apply_record(
+            self.state, {"seq": seq, "type": kind, "data": data}
+        )
+        return seq
+
+    def on_event(self, event) -> None:
+        """Tracer sink: journal one emitted trace event."""
+        if self._suspended or not self._started:
+            return
+        self.append("event", {
+            "phase": event.phase,
+            "name": event.name,
+            "category": event.category,
+            "ts": event.ts,
+            "dur": event.dur,
+            "args": dict(event.args),
+        })
+        self._since_snapshot += 1
+        if (self.snapshot_every
+                and self._since_snapshot >= self.snapshot_every):
+            self.snapshot()
+
+    # -- snapshots and checkpoints -------------------------------------
+
+    def _journal_instant(self, name: str, **args) -> None:
+        """Surface journal bookkeeping in the run's trace (un-journaled:
+        the record stream must not feed back into itself)."""
+        if self._tracer is None:
+            return
+        self._suspended = True
+        try:
+            self._tracer.instant(
+                name, category=JOURNAL_CATEGORY, track="journal", **args
+            )
+        finally:
+            self._suspended = False
+
+    def snapshot(self) -> int:
+        """Persist the current state; returns the covered seq."""
+        covered = self._seq - 1
+        write_snapshot(self.directory, covered, self.state)
+        if self._handle is not None and self.fsync != "never":
+            os.fsync(self._handle.fileno())
+        self._since_snapshot = 0
+        self.append("snapshot", {
+            "seq": covered,
+            "file": snapshot_path(self.directory, covered).name,
+        }, sync=self.fsync != "never")
+        self._journal_instant("snapshot", seq=covered,
+                              events=self.state.events)
+        return covered
+
+    def checkpoint(self, label: str) -> int:
+        """Named marker + snapshot around a risky region.
+
+        Returns the checkpoint record's seq; `rollback_to_checkpoint`
+        truncates the run back to it.
+        """
+        covered = self._seq - 1
+        write_snapshot(self.directory, covered, self.state)
+        seq = self.append(
+            "checkpoint", {"label": label, "seq": covered}, sync=True
+        )
+        self._since_snapshot = 0
+        self._journal_instant("checkpoint", label=label, seq=seq)
+        return seq
+
+    def rollback_to_checkpoint(self, label: str) -> ReplayState:
+        """Discard everything after checkpoint ``label``.
+
+        The journal is truncated, later snapshots are deleted, and the
+        in-memory state resets to the checkpoint; appends continue
+        from there.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        state = rollback_journal(self.directory, label)
+        self.state = state
+        self._seq = state.last_seq + 1
+        self._since_snapshot = 0
+        return state
+
+    def finish(self, digest: str, makespan: float = 0.0) -> None:
+        """Mark the run complete with its final trace digest."""
+        self.append(
+            "finish", {"digest": digest, "makespan": makespan},
+            sync=True,
+        )
+        self._journal_instant("finish", digest=digest)

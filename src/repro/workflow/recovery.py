@@ -47,11 +47,15 @@ from repro.obs import Tracer, current_metrics
 from repro.platform.simulator import Simulator
 from repro.platform.topology import Ecosystem
 from repro.workflow.graph import TaskGraph
+from repro.workflow.journal import RunJournal
+from repro.workflow.replay import EXEC_CATEGORY, ReplayState
 from repro.workflow.scheduler import BLevelScheduler, SchedulerPolicy
 from repro.workflow.server import (
     RESOURCE_EVENT_CATEGORY,
     SCHED_CATEGORY,
     TRANSFER_CATEGORY,
+    begin_journal,
+    end_journal,
     make_sim_tracer,
     publish_run,
 )
@@ -213,16 +217,24 @@ class ResilientServer:
         failures: Optional[List[FailureInjection]] = None,
         chaos: Optional[ChaosSchedule] = None,
         tracer: Optional[Tracer] = None,
+        journal: Optional[RunJournal] = None,
+        resume: Optional[ReplayState] = None,
     ) -> tuple:
         """Execute with fault injection and recovery.
 
         ``failures`` is the legacy interface (permanent worker crashes);
         ``chaos`` is a full :class:`ChaosSchedule`; ``tracer`` (or the
         ambient session tracer) receives the simulated timeline as a
-        ``workflow:<graph>`` process. Returns (trace, recovery stats).
-        Raises :class:`WorkflowError` when every worker dies with no
-        restart pending, and :class:`ChaosError` when a task exhausts
-        its retry budget.
+        ``workflow:<graph>`` process. ``journal`` write-ahead logs
+        every transition (faults and recoveries included) so the run
+        survives a process crash; ``resume`` replays a crashed run —
+        the deterministic timeline is re-executed, payloads that
+        already ran are skipped, and a checkpoint is taken before the
+        first dispatch of every task the chaos schedule marks as
+        fault-prone. Returns (trace, recovery stats). Raises
+        :class:`WorkflowError` when every worker dies with no restart
+        pending, and :class:`ChaosError` when a task exhausts its
+        retry budget.
         """
         graph.validate()
         self.policy.prepare(graph)
@@ -263,6 +275,13 @@ class ResilientServer:
 
         sim = Simulator()
         events = make_sim_tracer(sim, graph.name)
+        skipper = begin_journal(
+            journal, events, graph, self.policy.name, self.workers,
+            resume,
+        )
+        #: Fault-prone tasks already guarded by a pre-dispatch
+        #: checkpoint (chaos-wired risky-task checkpointing).
+        checkpointed: Set[str] = set()
 
         def record_fault(kind: str, target: str, detail: str = ""
                          ) -> None:
@@ -483,7 +502,15 @@ class ResilientServer:
                     f"{retry.task_timeout_s:.3f}s",
                 )
                 return
-            if task.payload is not None:
+            if journal is not None:
+                events.instant(
+                    "exec", category=EXEC_CATEGORY, track=worker.name,
+                    task=task_name, worker=worker.name,
+                )
+            already_ran = (
+                skipper.take(task_name) if skipper is not None else False
+            )
+            if task.payload is not None and not already_ran:
                 task.payload()
             yield sim.timeout(duration)
             if not worker_ok():
@@ -736,6 +763,15 @@ class ResilientServer:
                     else:
                         task_name, worker = choice
                         ready.remove(task_name)
+                        if (
+                            journal is not None
+                            and fault_budget.get(task_name, 0) > 0
+                            and task_name not in checkpointed
+                        ):
+                            # risky task: place a rollback point just
+                            # before its first dispatch
+                            checkpointed.add(task_name)
+                            journal.checkpoint(f"pre:{task_name}")
                         events.instant(
                             "dispatch", category=SCHED_CATEGORY,
                             track="scheduler", task=task_name,
@@ -772,6 +808,7 @@ class ResilientServer:
         metrics.counter(
             "workflow.retries", "task attempts retried after a fault",
         ).inc(stats.retries)
+        end_journal(journal, trace)
         publish_run(events, graph.name, tracer)
         return trace, stats
 

@@ -25,6 +25,12 @@ from repro.obs import SimClock, Tracer, current_metrics, current_tracer
 from repro.platform.simulator import Simulator
 from repro.platform.topology import Ecosystem
 from repro.workflow.graph import TaskGraph
+from repro.workflow.journal import RunJournal, journal_error
+from repro.workflow.replay import (
+    EXEC_CATEGORY,
+    PayloadSkipper,
+    ReplayState,
+)
 from repro.workflow.scheduler import (
     BLevelScheduler,
     SchedulerPolicy,
@@ -45,6 +51,59 @@ def make_sim_tracer(sim: Simulator, graph_name: str) -> Tracer:
                     process=f"workflow:{graph_name}")
     sim.tracer = tracer
     return tracer
+
+
+def begin_journal(
+    journal: Optional[RunJournal],
+    events: Tracer,
+    graph: TaskGraph,
+    policy_name: str,
+    workers: List[Worker],
+    resume: Optional[ReplayState],
+) -> Optional[PayloadSkipper]:
+    """Shared server prologue for durable/resumed execution.
+
+    When resuming, the journaled header must describe the same run
+    recipe we are about to re-execute — same graph content, policy and
+    worker pool — otherwise the deterministic replay would silently
+    diverge from what the journal proves happened; that mismatch is a
+    hard ``WF009`` error. When journaling, the header is written and
+    the journal hooks the simulated-time tracer so every transition is
+    durable before execution proceeds.
+
+    Returns the payload skipper for a resumed run (None otherwise).
+    """
+    recipe = {
+        "graph": graph.name,
+        "graph_digest": graph.digest(),
+        "policy": policy_name,
+        "workers": [worker.name for worker in workers],
+        "tasks": len(graph.tasks),
+    }
+    if resume is not None and resume.header is not None:
+        for key in ("graph_digest", "policy", "workers"):
+            expected = resume.header.get(key)
+            if expected != recipe[key]:
+                raise journal_error(
+                    "WF009",
+                    f"resume state was journaled for {key}="
+                    f"{expected!r} but this run has {recipe[key]!r}; "
+                    f"rebuild the run from its recorded recipe",
+                    anchor=graph.name,
+                )
+    if journal is not None:
+        journal.start(recipe)
+        journal.attach(events)
+    return resume.payload_skipper() if resume is not None else None
+
+
+def end_journal(journal: Optional[RunJournal],
+                trace: ExecutionTrace) -> None:
+    """Seal a journaled run: final digest record, tracer detached."""
+    if journal is None:
+        return
+    journal.finish(trace.digest(), makespan=trace.makespan)
+    journal.detach()
 
 
 def publish_run(sim_tracer: Tracer, graph_name: str,
@@ -101,17 +160,27 @@ class WorkflowServer:
     # ------------------------------------------------------------------
 
     def run(self, graph: TaskGraph,
-            tracer: Optional[Tracer] = None) -> ExecutionTrace:
+            tracer: Optional[Tracer] = None,
+            journal: Optional[RunJournal] = None,
+            resume: Optional[ReplayState] = None) -> ExecutionTrace:
         """Execute the graph to completion; returns the trace.
 
         ``tracer`` (or the ambient session tracer) receives the whole
         simulated timeline as a ``workflow:<graph>`` process.
+        ``journal`` makes the run durable: every transition is
+        write-ahead logged so a crash can be resumed. ``resume`` is
+        the replayed state of a crashed run — execution re-runs the
+        deterministic timeline but skips payloads that already ran.
         """
         graph.validate()
         self.policy.prepare(graph)
 
         sim = Simulator()
         events = make_sim_tracer(sim, graph.name)
+        skipper = begin_journal(
+            journal, events, graph, self.policy.name, self.workers,
+            resume,
+        )
         metrics = current_metrics()
         locations: Dict[str, str] = {}
         # External inputs start on their preferred worker (or the first).
@@ -191,7 +260,15 @@ class WorkflowServer:
                 moved += size
                 worker.store.add(input_name)
             duration = worker.execution_time(task.duration_s)
-            if task.payload is not None:
+            if journal is not None:
+                events.instant(
+                    "exec", category=EXEC_CATEGORY, track=worker.name,
+                    task=task_name, worker=worker.name,
+                )
+            already_ran = (
+                skipper.take(task_name) if skipper is not None else False
+            )
+            if task.payload is not None and not already_ran:
                 task.payload()
             yield sim.timeout(duration)
             worker.busy_seconds += duration * task.cpus
@@ -266,6 +343,7 @@ class WorkflowServer:
         metrics.counter(
             "workflow.bytes_moved", "bytes staged between workers",
         ).inc(trace.bytes_moved)
+        end_journal(journal, trace)
         publish_run(events, graph.name, tracer)
         return trace
 
