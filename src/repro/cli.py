@@ -6,7 +6,7 @@ Subcommands::
     python -m repro synth    KERNELS.edsl --kernel NAME [--unroll N]
     python -m repro explore  KERNELS.edsl --kernel NAME [--workers N]
     python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
-    python -m repro lint     SPEC [--format json|text] [--suppress CODE]
+    python -m repro lint     SPEC [--incremental] [--stats] [--workers N]
     python -m repro chaos    --graph-seed N --fault-seed M [--verify-replay]
     python -m repro run      SPEC [--trace PATH]
     python -m repro trace    SPEC --out trace.json [--clock logical|wall]
@@ -303,17 +303,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     Exit codes: 0 — no errors (warnings/notes allowed); 1 — at least
     one error-severity finding; 2 — a spec could not be loaded at all.
+
+    Output is deterministic: files expand in sorted order and findings
+    render fully sorted, so the same tree produces byte-identical
+    reports on every run and every ``--workers`` count. With
+    ``--incremental`` the per-file results are memoized (keyed by path,
+    contents and selected checks) in a persistent store, so a warm run
+    skips parsing, compiling and analyzing unchanged specs entirely;
+    hit/miss traffic goes to stderr and the metrics registry, keeping
+    stdout identical to a cold run.
     """
+    from concurrent.futures import ThreadPoolExecutor
+
     from repro.core.analysis import (
         ALL_CHECKS,
+        ANALYSIS_CATEGORY,
         CONCURRENCY_CHECKS,
         Diagnostics,
         analyze_module,
         lint_concurrency_spec,
     )
-    from repro.core.analysis.specs import load_lint_targets
+    from repro.core.analysis.cache import (
+        AnalysisCache,
+        configure_analysis_cache,
+        default_analysis_cache_dir,
+    )
+    from repro.core.analysis.specs import (
+        expand_spec_files,
+        load_targets_from_text,
+        read_spec_text,
+    )
     from repro.core.analysis.wfcheck import lint_workflow_spec
     from repro.core.ir.verifier import verify_diagnostics
+    from repro.obs import Observation, current_metrics, observe
+    from repro.obs.tracer import Tracer
 
     workflow_checks = ("wf",) + CONCURRENCY_CHECKS
     known = set(ALL_CHECKS) | set(workflow_checks)
@@ -341,38 +364,119 @@ def cmd_lint(args: argparse.Namespace) -> int:
         else set(CONCURRENCY_CHECKS)
     )
 
-    diagnostics = Diagnostics()
-    targets = []
+    files: List[str] = []
     for path in args.paths:
-        try:
-            targets.extend(load_lint_targets(path, diagnostics))
-        except Exception as exc:  # a bad file must not hide the rest
-            diagnostics.error(
-                "DSL001", f"cannot load spec: {exc}",
-                anchor=path, analysis="loader",
+        files.extend(expand_spec_files(path))
+
+    cache = None
+    if getattr(args, "incremental", False):
+        cache_dir = (
+            None if getattr(args, "no_cache", False)
+            else (getattr(args, "cache_dir", None)
+                  or default_analysis_cache_dir())
+        )
+        cache = configure_analysis_cache(cache_dir=cache_dir)
+    check_signature = "|".join((
+        ",".join(sorted(module_checks)),
+        "wf" if wf_selected else "",
+        ",".join(sorted(conc_checks)),
+    ))
+
+    def lint_file(path: str):
+        """(diagnostics, target count, cache hit?) for one spec file."""
+        diagnostics = Diagnostics()
+        text = read_spec_text(path, diagnostics)
+        if text is None:
+            return diagnostics, 0, False
+        key = None
+        if cache is not None:
+            # The path is part of the key: loader diagnostics anchor
+            # on it, so one file's findings must never replay for an
+            # identical copy elsewhere in the tree.
+            key = AnalysisCache.source_key(
+                f"{path}\x1f{text}", (check_signature,)
             )
-    for target in targets:
-        try:
-            if target.kind == "module":
-                if module_checks:
-                    verify_diagnostics(target.module, diagnostics)
-                    analyze_module(
-                        target.module, diagnostics,
-                        checks=sorted(module_checks),
-                    )
-            elif target.kind == "workflow":
-                if wf_selected:
-                    lint_workflow_spec(target.spec, diagnostics)
-                if conc_checks:
-                    lint_concurrency_spec(
-                        target.spec, diagnostics,
-                        checks=sorted(conc_checks),
-                    )
-        except Exception as exc:  # ditto for a crashing analysis
-            diagnostics.error(
-                "DSL001", f"cannot lint target: {exc}",
-                anchor=target.name, analysis="loader",
-            )
+            payload = cache.get(key)
+            if payload is not None:
+                return (
+                    Diagnostics.from_dicts(
+                        payload.get("diagnostics", [])
+                    ),
+                    int(payload.get("targets", 0)),
+                    True,
+                )
+        targets = load_targets_from_text(path, text, diagnostics)
+        for target in targets:
+            try:
+                if target.kind == "module":
+                    if module_checks:
+                        verify_diagnostics(target.module, diagnostics)
+                        analyze_module(
+                            target.module, diagnostics,
+                            checks=sorted(module_checks),
+                        )
+                elif target.kind == "workflow":
+                    if wf_selected:
+                        lint_workflow_spec(target.spec, diagnostics)
+                    if conc_checks:
+                        lint_concurrency_spec(
+                            target.spec, diagnostics,
+                            checks=sorted(conc_checks),
+                        )
+            except Exception as exc:  # a crash must not hide the rest
+                diagnostics.error(
+                    "DSL001", f"cannot lint target: {exc}",
+                    anchor=target.name, analysis="loader",
+                )
+        if key is not None:
+            cache.put(key, {
+                "diagnostics": [
+                    item.to_dict() for item in diagnostics
+                ],
+                "targets": len(targets),
+            })
+        return diagnostics, len(targets), False
+
+    stats_observation = None
+    workers = max(1, getattr(args, "workers", 1))
+    if getattr(args, "stats", False):
+        # Per-pass timings need an enabled ambient tracer, which is
+        # not safe to share across worker threads — stats runs serial.
+        stats_observation = Observation(tracer=Tracer(enabled=True))
+        workers = 1
+
+    def run_files():
+        if workers > 1 and len(files) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(lint_file, files))
+        return [lint_file(path) for path in files]
+
+    if stats_observation is not None:
+        with observe(stats_observation):
+            outcomes = run_files()
+    else:
+        outcomes = run_files()
+
+    diagnostics = Diagnostics()
+    total_targets = 0
+    hits = misses = 0
+    for file_diagnostics, count, hit in outcomes:
+        diagnostics.extend(file_diagnostics)
+        total_targets += count
+        if hit:
+            hits += 1
+        else:
+            misses += 1
+
+    if cache is not None:
+        metrics = current_metrics()
+        metrics.counter(
+            "analysis.cache_hits", "analysis cache hits",
+        ).inc(hits, layer="source")
+        metrics.counter(
+            "analysis.cache_misses", "analysis cache misses",
+        ).inc(misses, layer="source")
+
     load_failed = any(
         item.analysis == "loader" for item in diagnostics.errors
     )
@@ -382,9 +486,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(diagnostics.to_json(indent=2))
     else:
         targets_word = (
-            f"{len(targets)} target{'s' if len(targets) != 1 else ''}"
+            f"{total_targets} "
+            f"target{'s' if total_targets != 1 else ''}"
         )
         print(diagnostics.render_text(f"lint: {targets_word}"))
+    if cache is not None:
+        lookups = hits + misses
+        ratio = hits / lookups if lookups else 0.0
+        print(
+            f"analysis cache: {hits} hits, {misses} misses "
+            f"({ratio:.0%} hit ratio)",
+            file=sys.stderr,
+        )
+    if stats_observation is not None:
+        durations = stats_observation.tracer.total_durations(
+            ANALYSIS_CATEGORY
+        )
+        table = Table(
+            "analysis passes", ["pass", "total s"],
+        )
+        for name in sorted(durations):
+            table.add_row(name, durations[name])
+        if not durations:
+            table.add_row("(all results cached)", 0.0)
+        print(table.render(), file=sys.stderr)
     if load_failed:
         return 2
     return 1 if diagnostics.has_errors else 0
@@ -567,11 +692,19 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or clear the persistent DSE cost cache."""
+    """Inspect or clear the persistent DSE and analysis caches."""
+    from repro.core.analysis import cache as analysis_cache_module
     from repro.core.dse import cache as dse_cache
 
     directory = args.cache_dir or dse_cache.default_cache_dir()
     store = dse_cache.CostCache(directory=directory)
+    analysis_dir = (
+        args.cache_dir
+        or analysis_cache_module.default_analysis_cache_dir()
+    )
+    analysis_store = analysis_cache_module.AnalysisCache(
+        directory=analysis_dir
+    )
     if args.action == "stats":
         table = Table(
             "DSE cost cache",
@@ -581,10 +714,23 @@ def cmd_cache(args: argparse.Namespace) -> int:
         table.add_row("entries", store.entry_count())
         table.add_row("disk bytes", store.disk_bytes())
         table.show()
+        table = Table(
+            "analysis cache",
+            ["property", "value"],
+        )
+        table.add_row("directory", str(analysis_dir))
+        table.add_row("entries", analysis_store.entry_count())
+        table.add_row("disk bytes", analysis_store.disk_bytes())
+        table.show()
         return 0
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} cached cost entries from {directory}")
+        removed = analysis_store.clear()
+        print(
+            f"cleared {removed} cached analysis entries from "
+            f"{analysis_dir}"
+        )
         return 0
     raise SystemExit(f"unknown cache action {args.action!r}")
 
@@ -763,7 +909,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "paths", nargs="+",
-        help=".edsl / .py / .json files or directories of them",
+        help=".edsl / .ir / .py / .json files or directories of them",
     )
     p_lint.add_argument(
         "--format", default="text", choices=("text", "json"),
@@ -776,9 +922,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--only", action="append", default=[], metavar="CHECK",
         help="restrict checks to a comma-separated subset of "
-             "taint/partition/lint (IR) and wf/race/dl (workflow "
-             "specs); repeatable, case-insensitive",
+             "taint/partition/lint/absint/shapes (IR) and wf/race/dl "
+             "(workflow specs); repeatable, case-insensitive",
     )
+    p_lint.add_argument(
+        "--incremental", action="store_true",
+        help="memoize per-file results in the persistent analysis "
+             "cache (default: ~/.cache/repro-analysis, XDG aware; "
+             "--cache-dir overrides, --no-cache keeps it in memory); "
+             "a warm run skips unchanged files entirely",
+    )
+    p_lint.add_argument(
+        "--stats", action="store_true",
+        help="print a per-analysis-pass timing table to stderr "
+             "(forces serial analysis)",
+    )
+    p_lint.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="lint files on N threads; any value produces identical "
+             "output (default: 1)",
+    )
+    add_cache_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
     p_chaos = sub.add_parser(

@@ -8,18 +8,40 @@ them:
   ``secure`` dialect's policies;
 * :mod:`.partition` — memory-partition legality and static bounds
   checking for kernel-form functions;
+* :mod:`.absint` — interval abstract interpretation: value ranges for
+  non-affine indices (MEM004), statically-dead constructs (LINT004)
+  and interprocedural shape/dtype contracts (WF010/WF011), exposed as
+  a reusable :class:`~repro.core.analysis.absint.AnalysisFacts`;
 * :mod:`.lints` — dead values, unreachable blocks, unused functions;
 * :mod:`.wfcheck` — workflow-DAG structural linting;
 * :mod:`.concurrency` — static race (RACE001-004) and deadlock
   (DL001-003) detection over workflow plans and resource specs.
 
 :func:`analyze_module` is the one-call entry point used by the
-compiler's pre-DSE gate and the ``repro lint`` CLI.
+compiler's pre-DSE gate and the ``repro lint`` CLI; each selected
+pass runs under its own tracer span (category
+:data:`ANALYSIS_CATEGORY`) so the gate shows up in Chrome traces like
+the compiler and DSE phases do. :func:`analyze_module_cached` is the
+incremental variant, memoized through
+:mod:`repro.core.analysis.cache` keyed by the module's content digest.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
+
+from repro.core.analysis.absint import (
+    ANALYSIS_VERSION,
+    AnalysisFacts,
+    FunctionFacts,
+    Interval,
+    check_module_contracts,
+    check_module_ranges,
+    compute_facts,
+    compute_function_facts,
+    function_facts,
+    partition_conflict,
+)
 
 from repro.core.analysis.dataflow import (
     BackwardAnalysis,
@@ -65,7 +87,10 @@ from repro.core.analysis.wfcheck import (
 )
 
 #: Names accepted by ``analyze_module(checks=...)`` / ``--only``.
-ALL_CHECKS = ("taint", "partition", "lint")
+ALL_CHECKS = ("taint", "partition", "lint", "absint", "shapes")
+
+#: Tracer category for per-analysis-pass spans.
+ANALYSIS_CATEGORY = "analysis.pass"
 
 
 def analyze_module(
@@ -73,13 +98,18 @@ def analyze_module(
     diagnostics: Optional[Diagnostics] = None,
     checks: Optional[Iterable[str]] = None,
     annotate: bool = False,
+    facts: Optional[AnalysisFacts] = None,
 ) -> Diagnostics:
     """Run the IR analyses over a module; returns the diagnostics.
 
     ``checks`` restricts the run to a subset of :data:`ALL_CHECKS`;
     ``annotate`` additionally records taint labels on the IR (see
-    :func:`~repro.core.analysis.taint.check_function_taint`).
+    :func:`~repro.core.analysis.taint.check_function_taint`). Pass
+    precomputed ``facts`` to skip the abstract-interpretation sweep
+    the partition and absint checks share.
     """
+    from repro.obs import current_tracer
+
     diagnostics = diagnostics if diagnostics is not None else Diagnostics()
     selected = set(checks) if checks is not None else set(ALL_CHECKS)
     unknown = selected - set(ALL_CHECKS)
@@ -88,17 +118,94 @@ def analyze_module(
             f"unknown checks {sorted(unknown)}; "
             f"expected a subset of {list(ALL_CHECKS)}"
         )
+    tracer = current_tracer()
+    if facts is None and selected & {"partition", "absint"}:
+        with tracer.span("analysis:facts", category=ANALYSIS_CATEGORY):
+            facts = compute_facts(module)
     if "taint" in selected:
-        check_module_taint(module, diagnostics, annotate=annotate)
+        with tracer.span("analysis:taint", category=ANALYSIS_CATEGORY):
+            check_module_taint(module, diagnostics, annotate=annotate)
     if "partition" in selected:
-        check_module_partitioning(module, diagnostics)
+        with tracer.span("analysis:partition",
+                         category=ANALYSIS_CATEGORY):
+            check_module_partitioning(module, diagnostics, facts=facts)
     if "lint" in selected:
-        check_module_lints(module, diagnostics)
+        with tracer.span("analysis:lint", category=ANALYSIS_CATEGORY):
+            check_module_lints(module, diagnostics)
+    if "absint" in selected:
+        with tracer.span("analysis:absint", category=ANALYSIS_CATEGORY):
+            check_module_ranges(module, diagnostics, facts=facts)
+    if "shapes" in selected:
+        with tracer.span("analysis:shapes", category=ANALYSIS_CATEGORY):
+            check_module_contracts(module, diagnostics)
     return diagnostics
+
+
+def analyze_module_cached(
+    module,
+    checks: Optional[Iterable[str]] = None,
+    annotate: bool = False,
+    digest: Optional[str] = None,
+    cache=None,
+) -> Tuple[Diagnostics, Optional[AnalysisFacts], bool]:
+    """Digest-memoized :func:`analyze_module`.
+
+    Returns ``(diagnostics, facts, hit)``. Results are keyed by the
+    module's content digest plus the analysis version, so a structural
+    change — or an analysis upgrade — always recomputes; a warm hit
+    replays the stored diagnostics and facts without touching the IR.
+    Cache traffic is published to the ambient metrics registry as
+    ``analysis.cache_hits`` / ``analysis.cache_misses``.
+    """
+    from repro.core.analysis.cache import AnalysisCache, analysis_cache
+    from repro.core.ir.digest import module_digest
+    from repro.obs import current_metrics
+
+    cache = cache if cache is not None else analysis_cache()
+    selected = tuple(sorted(set(checks) if checks is not None
+                            else set(ALL_CHECKS)))
+    if digest is None:
+        digest = module_digest(module)
+    key = AnalysisCache.module_key(digest, selected, annotate)
+    metrics = current_metrics()
+    payload = cache.get(key)
+    if payload is not None:
+        metrics.counter(
+            "analysis.cache_hits", "analysis cache hits",
+        ).inc(1, layer="module")
+        return (
+            Diagnostics.from_dicts(payload.get("diagnostics", [])),
+            AnalysisFacts.from_payload(payload.get("facts", {})),
+            True,
+        )
+    metrics.counter(
+        "analysis.cache_misses", "analysis cache misses",
+    ).inc(1, layer="module")
+    facts = compute_facts(module)
+    diagnostics = analyze_module(
+        module, checks=selected, annotate=annotate, facts=facts,
+    )
+    cache.put(key, {
+        "diagnostics": [item.to_dict() for item in diagnostics],
+        "facts": facts.to_payload(),
+    })
+    return diagnostics, facts, False
 
 
 __all__ = [
     "ALL_CHECKS",
+    "ANALYSIS_CATEGORY",
+    "ANALYSIS_VERSION",
+    "AnalysisFacts",
+    "FunctionFacts",
+    "Interval",
+    "analyze_module_cached",
+    "check_module_contracts",
+    "check_module_ranges",
+    "compute_facts",
+    "compute_function_facts",
+    "function_facts",
+    "partition_conflict",
     "BackwardAnalysis",
     "CODES",
     "CONCURRENCY_CHECKS",

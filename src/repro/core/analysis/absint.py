@@ -1,0 +1,924 @@
+"""Interval abstract interpretation over kernel-form IR.
+
+The syntactic/affine analyses (:mod:`.partition`) stop at whatever an
+:class:`~repro.core.analysis.partition.Affine` can express; everything
+else is "a dynamic-check concern". This module closes that gap with a
+classic interval (value-range) abstract interpreter:
+
+* every integer SSA value gets a conservative ``[lo, hi]`` interval;
+  loop induction variables range over their static bounds, and the
+  transfer functions for ``addi``/``subi``/``muli``/``divi`` evaluate
+  interval corners, so non-affine index arithmetic (``i*i``,
+  ``i*j + k``) still gets finite bounds;
+* comparisons whose operand intervals are disjoint become known
+  booleans, and ``kernel.select`` refines through them: a select on a
+  provably-constant condition takes the live arm exactly (the dead arm
+  is reported as LINT004), and the ``cmplt(x, y) ? x : y`` min/max
+  idiom gets the tight ``min``/``max`` interval instead of the union —
+  the IR has no branch ops, so select refinement *is* branch
+  refinement here;
+* each interval tracks which induction variables it depends on and
+  whether its bounds are *attained* (``tight``): an expression tree
+  that mentions every variable at most once is multilinear, so its
+  extrema sit at range corners and really occur on some iteration.
+  A tight out-of-bounds interval is therefore a proof (MEM004 error);
+  a loose one is only a possibility (MEM004 warning).
+
+Everything the interpreter learns is packaged into a serializable
+:class:`AnalysisFacts` object — per-function loop ranges, per-access
+per-dimension value ranges, statically-dead constructs, declared
+shapes/dtypes and explicit-partition port demands — which downstream
+consumers reuse instead of re-deriving:
+
+* :func:`check_module_ranges` turns access facts into MEM004/LINT004
+  diagnostics;
+* :func:`check_module_contracts` propagates shapes/dtypes
+  interprocedurally (``workflow.task`` operands/results and
+  ``func.call`` sites against callee signatures) and reports
+  producer→consumer mismatches as WF010 (shape) / WF011 (dtype);
+* :func:`partition_conflict` lets the DSE pruner reject knob
+  assignments whose explicit ``hw.partition`` factors provably cannot
+  serve the unrolled access pattern — before any pricing happens;
+* :mod:`.partition` uses the dependence sets to run its bank-conflict
+  check (MEM002) on accesses whose indices are not syntactically
+  affine.
+
+Facts are cheap to recompute but cheaper to reuse: see
+:mod:`repro.core.analysis.cache` for the digest-keyed incremental
+store, and :data:`ANALYSIS_VERSION` which invalidates it whenever the
+analysis itself changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.analysis.diagnostics import Diagnostics
+from repro.core.ir.module import Function, Module
+from repro.core.ir.ops import Block, Operation, Value
+from repro.core.ir.types import MemRefType, ScalarType, TensorType
+
+#: Bump whenever any analysis result can change for the same module —
+#: cache entries keyed with an older version are ignored.
+ANALYSIS_VERSION = "1"
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------
+# The abstract domain: intervals with dependence and tightness.
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A conservative integer range ``[lo, hi]`` (±inf = unbounded)."""
+
+    lo: float = -_INF
+    hi: float = _INF
+    #: ids of the loop induction variables the value depends on.
+    vars: FrozenSet[int] = frozenset()
+    #: True when both bounds are attained by concrete executions —
+    #: holds for multilinear expressions over independent variables.
+    tight: bool = False
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval()
+
+    @staticmethod
+    def const(value: float) -> "Interval":
+        return Interval(value, value, frozenset(), True)
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi and self.lo not in (-_INF, _INF)
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo != -_INF or self.hi != _INF
+
+    def _combine_tight(self, other: "Interval") -> bool:
+        # Corner attainment needs independence: sharing a variable
+        # correlates the operands (i - i is 0, not [lo-hi, hi-lo]).
+        return self.tight and other.tight and not (self.vars & other.vars)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi,
+                        self.vars | other.vars,
+                        self._combine_tight(other))
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo,
+                        self.vars | other.vars,
+                        self._combine_tight(other))
+
+    def mul(self, other: "Interval") -> "Interval":
+        corners = [_finite_mul(a, b)
+                   for a in (self.lo, self.hi)
+                   for b in (other.lo, other.hi)]
+        return Interval(min(corners), max(corners),
+                        self.vars | other.vars,
+                        self._combine_tight(other))
+
+    def floordiv(self, other: "Interval") -> "Interval":
+        # Only a divisor interval that excludes zero gives bounds.
+        if other.lo <= 0 <= other.hi:
+            return Interval(vars=self.vars | other.vars)
+        if self.lo in (-_INF, _INF) or self.hi in (-_INF, _INF):
+            return Interval(vars=self.vars | other.vars)
+        corners = [int(a) // int(b)
+                   for a in (self.lo, self.hi)
+                   for b in (other.lo, other.hi)]
+        # Monotone in the dividend; exact corners only for a constant
+        # divisor (floor division is not multilinear otherwise).
+        tight = self.tight and other.is_const and not (
+            self.vars & other.vars
+        )
+        return Interval(min(corners), max(corners),
+                        self.vars | other.vars, tight)
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi),
+                        self.vars | other.vars, False)
+
+    def minimum(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi),
+                        self.vars | other.vars,
+                        self._combine_tight(other))
+
+    def maximum(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi),
+                        self.vars | other.vars,
+                        self._combine_tight(other))
+
+
+def _finite_mul(a: float, b: float) -> float:
+    if a == 0 or b == 0:
+        return 0  # 0 * inf is 0 here: the finite factor wins
+    return a * b
+
+
+# ---------------------------------------------------------------------
+# Facts: what one interpretation of a function learned.
+
+
+@dataclass
+class LoopFacts:
+    """Static range of one ``kernel.for``."""
+
+    anchor: str
+    lower: int
+    upper: int
+    step: int
+    depth: int
+    innermost: bool
+
+    @property
+    def trip(self) -> int:
+        if self.upper <= self.lower:
+            return 0
+        return (self.upper - self.lower + self.step - 1) // self.step
+
+    @property
+    def last(self) -> int:
+        """Largest induction value actually taken."""
+        if self.trip == 0:
+            return self.lower
+        return self.lower + (self.trip - 1) * self.step
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"anchor": self.anchor, "lower": self.lower,
+                "upper": self.upper, "step": self.step,
+                "depth": self.depth, "innermost": self.innermost}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "LoopFacts":
+        return LoopFacts(
+            anchor=str(payload["anchor"]), lower=int(payload["lower"]),
+            upper=int(payload["upper"]), step=int(payload["step"]),
+            depth=int(payload["depth"]),
+            innermost=bool(payload["innermost"]),
+        )
+
+
+def _encode_bound(value: float) -> Optional[int]:
+    return None if value in (-_INF, _INF) else int(value)
+
+
+def _decode_bound(value: Optional[int], sign: float) -> float:
+    return sign * _INF if value is None else int(value)
+
+
+@dataclass
+class DimRange:
+    """Inferred index range against one buffer dimension."""
+
+    lo: float
+    hi: float
+    tight: bool
+    size: int
+    affine: bool  # already covered by the affine MEM001 check
+
+    @property
+    def in_bounds(self) -> bool:
+        return self.lo >= 0 and self.hi < self.size
+
+    @property
+    def always_oob(self) -> bool:
+        return self.lo >= self.size or self.hi < 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"lo": _encode_bound(self.lo),
+                "hi": _encode_bound(self.hi),
+                "tight": self.tight, "size": self.size,
+                "affine": self.affine}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "DimRange":
+        return DimRange(
+            lo=_decode_bound(payload["lo"], -1.0),
+            hi=_decode_bound(payload["hi"], 1.0),
+            tight=bool(payload["tight"]), size=int(payload["size"]),
+            affine=bool(payload["affine"]),
+        )
+
+
+@dataclass
+class AccessFacts:
+    """One load/store with inferred per-dimension value ranges."""
+
+    anchor: str
+    kind: str  # "load" | "store"
+    buffer: str
+    dims: List[DimRange] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"anchor": self.anchor, "kind": self.kind,
+                "buffer": self.buffer,
+                "dims": [dim.to_payload() for dim in self.dims]}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "AccessFacts":
+        return AccessFacts(
+            anchor=str(payload["anchor"]), kind=str(payload["kind"]),
+            buffer=str(payload["buffer"]),
+            dims=[DimRange.from_payload(d) for d in payload["dims"]],
+        )
+
+
+@dataclass
+class DeadFacts:
+    """A statically-dead construct (LINT004)."""
+
+    anchor: str
+    message: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"anchor": self.anchor, "message": self.message}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "DeadFacts":
+        return DeadFacts(anchor=str(payload["anchor"]),
+                         message=str(payload["message"]))
+
+
+@dataclass
+class PartitionDemand:
+    """Port pressure one explicit ``hw.partition`` directive must serve.
+
+    ``accesses`` loads/stores hit ``buffer`` inside an innermost loop
+    of ``trip`` iterations; unrolling by ``u`` demands
+    ``accesses * min(u, trip)`` concurrent ports against the
+    ``factor * PORTS_PER_BANK`` the directive provides.
+    """
+
+    buffer: str
+    scheme: str
+    factor: int
+    accesses: int
+    trip: int
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"buffer": self.buffer, "scheme": self.scheme,
+                "factor": self.factor, "accesses": self.accesses,
+                "trip": self.trip}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "PartitionDemand":
+        return PartitionDemand(
+            buffer=str(payload["buffer"]), scheme=str(payload["scheme"]),
+            factor=int(payload["factor"]),
+            accesses=int(payload["accesses"]), trip=int(payload["trip"]),
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the abstract interpreter learned about one function."""
+
+    name: str
+    loops: List[LoopFacts] = field(default_factory=list)
+    accesses: List[AccessFacts] = field(default_factory=list)
+    dead: List[DeadFacts] = field(default_factory=list)
+    demands: List[PartitionDemand] = field(default_factory=list)
+    #: declared signature, as printed types (shape/dtype inference
+    #: output — the IR is typed, so declarations are the ground truth
+    #: the interprocedural checks compare against).
+    inputs: List[str] = field(default_factory=list)
+    results: List[str] = field(default_factory=list)
+    #: runtime-only: id(load/store op) -> induction-variable ids its
+    #: indices depend on. Not serialized; rebuilt on every compute.
+    op_vars: Dict[int, FrozenSet[int]] = field(
+        default_factory=dict, repr=False, compare=False,
+    )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "loops": [x.to_payload() for x in self.loops],
+            "accesses": [x.to_payload() for x in self.accesses],
+            "dead": [x.to_payload() for x in self.dead],
+            "demands": [x.to_payload() for x in self.demands],
+            "inputs": list(self.inputs),
+            "results": list(self.results),
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "FunctionFacts":
+        return FunctionFacts(
+            name=str(payload["name"]),
+            loops=[LoopFacts.from_payload(x) for x in payload["loops"]],
+            accesses=[AccessFacts.from_payload(x)
+                      for x in payload["accesses"]],
+            dead=[DeadFacts.from_payload(x) for x in payload["dead"]],
+            demands=[PartitionDemand.from_payload(x)
+                     for x in payload["demands"]],
+            inputs=[str(x) for x in payload["inputs"]],
+            results=[str(x) for x in payload["results"]],
+        )
+
+
+@dataclass
+class AnalysisFacts:
+    """Per-function facts for a whole module (the reusable object)."""
+
+    version: str = ANALYSIS_VERSION
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+
+    def function(self, name: str) -> Optional[FunctionFacts]:
+        return self.functions.get(name)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "functions": {name: facts.to_payload()
+                          for name, facts in sorted(self.functions.items())},
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "AnalysisFacts":
+        return AnalysisFacts(
+            version=str(payload.get("version", "")),
+            functions={
+                name: FunctionFacts.from_payload(facts)
+                for name, facts in payload.get("functions", {}).items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------
+# The interpreter.
+
+_BINARY_INT = {
+    "kernel.addi": Interval.add,
+    "kernel.subi": Interval.sub,
+    "kernel.muli": Interval.mul,
+    "kernel.divi": Interval.floordiv,
+}
+
+_COMPARE = {
+    "kernel.cmplt": lambda a, b: (a.hi < b.lo, a.lo >= b.hi),
+    "kernel.cmple": lambda a, b: (a.hi <= b.lo, a.lo > b.hi),
+    "kernel.cmpgt": lambda a, b: (a.lo > b.hi, a.hi <= b.lo),
+    "kernel.cmpeq": lambda a, b: (
+        a.is_const and b.is_const and a.lo == b.lo,
+        a.hi < b.lo or b.hi < a.lo,
+    ),
+}
+
+_MIN_COMPARES = ("kernel.cmplt", "kernel.cmple")
+_MAX_COMPARES = ("kernel.cmpgt",)
+
+
+class _FunctionInterpreter:
+    """One abstract-interpretation sweep over a kernel-form function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.env: Dict[int, Interval] = {}
+        self.loop_of_var: Dict[int, LoopFacts] = {}
+        self._access_ops: List[Tuple[Operation, Value, FrozenSet[int]]] = []
+        self.facts = FunctionFacts(
+            name=function.name,
+            inputs=[str(t) for t in function.type.inputs],
+            results=[str(t) for t in function.type.results],
+        )
+
+    # -- helpers -------------------------------------------------------
+
+    def value_of(self, value: Value) -> Interval:
+        cached = self.env.get(id(value))
+        if cached is not None:
+            return cached
+        return Interval.top()
+
+    def anchor(self, op: Operation) -> str:
+        return f"{self.function.name}/{op.name}"
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> FunctionFacts:
+        if not self.function.is_declaration:
+            for block in self.function.body.blocks:
+                self._eval_block(block, depth=0)
+            self._collect_demands()
+        return self.facts
+
+    def _eval_block(self, block: Block, depth: int) -> None:
+        for op in block.operations:
+            self._eval_op(op, depth)
+
+    def _eval_op(self, op: Operation, depth: int) -> None:
+        name = op.name
+        if name == "kernel.for":
+            self._eval_loop(op, depth)
+            return
+        if name == "kernel.const":
+            self._eval_const(op)
+        elif name in _BINARY_INT:
+            lhs = self.value_of(op.operands[0])
+            rhs = self.value_of(op.operands[1])
+            self.env[id(op.results[0])] = _BINARY_INT[name](lhs, rhs)
+        elif name in _COMPARE:
+            self._eval_compare(op)
+        elif name == "kernel.select":
+            self._eval_select(op)
+        elif name in ("kernel.load", "kernel.store"):
+            self._eval_access(op)
+        # every other op (float arithmetic, tensor ops, yields) leaves
+        # its results at top — soundly unknown.
+        for region in op.regions:
+            for block in region.blocks:
+                self._eval_block(block, depth)
+
+    def _eval_loop(self, op: Operation, depth: int) -> None:
+        lower = int(op.attr("lower", 0))
+        upper = int(op.attr("upper", 0))
+        step = max(1, int(op.attr("step", 1)))
+        body = op.regions[0].blocks[0] if (
+            op.regions and op.regions[0].blocks
+        ) else None
+        innermost = not any(
+            inner.name == "kernel.for"
+            for inner in op.walk() if inner is not op
+        )
+        loop = LoopFacts(
+            anchor=self.anchor(op), lower=lower, upper=upper,
+            step=step, depth=depth, innermost=innermost,
+        )
+        self.facts.loops.append(loop)
+        if loop.trip == 0:
+            # the body never executes: report it, don't analyze it —
+            # accesses inside can't be out of bounds at runtime.
+            self.facts.dead.append(DeadFacts(
+                anchor=loop.anchor,
+                message=(
+                    f"loop [{lower}, {upper}) step {step} runs zero "
+                    f"iterations; its body is dead"
+                ),
+            ))
+            return
+        if body is not None:
+            if body.arguments:
+                iv = body.arguments[0]
+                self.loop_of_var[id(iv)] = loop
+                self.env[id(iv)] = Interval(
+                    lower, loop.last, frozenset({id(iv)}), True,
+                )
+            self._eval_block(body, depth + 1)
+
+    def _eval_const(self, op: Operation) -> None:
+        raw = op.attr("value")
+        if not isinstance(raw, (int, float)):
+            return
+        result = op.results[0]
+        element = result.type
+        if isinstance(element, ScalarType) and element.is_float:
+            return  # float ranges are not index material
+        self.env[id(result)] = Interval.const(int(raw))
+
+    def _eval_compare(self, op: Operation) -> None:
+        lhs = self.value_of(op.operands[0])
+        rhs = self.value_of(op.operands[1])
+        # Over-approximated intervals make disjointness proofs sound:
+        # every concrete value lies inside its interval.
+        surely_true, surely_false = _COMPARE[op.name](lhs, rhs)
+        if surely_true:
+            interval = Interval.const(1.0)
+        elif surely_false:
+            interval = Interval.const(0.0)
+        else:
+            interval = Interval(0.0, 1.0, lhs.vars | rhs.vars, False)
+        self.env[id(op.results[0])] = interval
+
+    def _eval_select(self, op: Operation) -> None:
+        cond_value, true_value, false_value = op.operands[:3]
+        cond = self.value_of(cond_value)
+        result = op.results[0]
+        taken = self.value_of(true_value)
+        other = self.value_of(false_value)
+        if cond.is_const:
+            # branch refinement, degenerate case: the condition is a
+            # known constant, so only one arm is ever selected.
+            dead_arm = "false" if cond.lo else "true"
+            self.env[id(result)] = taken if cond.lo else other
+            self.facts.dead.append(DeadFacts(
+                anchor=self.anchor(op),
+                message=(
+                    f"select condition is always "
+                    f"{'true' if cond.lo else 'false'}; the {dead_arm} "
+                    f"arm is never selected"
+                ),
+            ))
+            return
+        producer = cond_value.producer
+        if producer is not None and producer.name in _COMPARE:
+            x, y = producer.operands[0], producer.operands[1]
+            refined = self._refine_minmax(
+                producer.name, x, y, true_value, false_value
+            )
+            if refined is not None:
+                self.env[id(result)] = refined
+                return
+        self.env[id(result)] = taken.union(other)
+
+    def _refine_minmax(
+        self, compare: str, x: Value, y: Value,
+        true_value: Value, false_value: Value,
+    ) -> Optional[Interval]:
+        """``cmplt(x,y) ? x : y`` is min; swapped arms (or cmpgt) max."""
+        a, b = self.value_of(x), self.value_of(y)
+        if compare in _MIN_COMPARES:
+            if true_value is x and false_value is y:
+                return a.minimum(b)
+            if true_value is y and false_value is x:
+                return a.maximum(b)
+        elif compare in _MAX_COMPARES:
+            if true_value is x and false_value is y:
+                return a.maximum(b)
+            if true_value is y and false_value is x:
+                return a.minimum(b)
+        return None
+
+    def _eval_access(self, op: Operation) -> None:
+        if op.name == "kernel.load":
+            kind, buffer, indices = "load", op.operands[0], op.operands[1:]
+        else:
+            kind, buffer, indices = "store", op.operands[1], op.operands[2:]
+        memref = buffer.type
+        if not isinstance(memref, MemRefType):
+            return
+        affine = _affine_flags(indices, self.loop_of_var)
+        dims: List[DimRange] = []
+        used: FrozenSet[int] = frozenset()
+        for position, (size, index) in enumerate(
+            zip(memref.shape, indices)
+        ):
+            interval = self.value_of(index)
+            used |= interval.vars
+            dims.append(DimRange(
+                lo=interval.lo, hi=interval.hi, tight=interval.tight,
+                size=int(size), affine=affine[position],
+            ))
+        access = AccessFacts(
+            anchor=self.anchor(op), kind=kind,
+            buffer=buffer.name, dims=dims,
+        )
+        self.facts.accesses.append(access)
+        self.facts.op_vars[id(op)] = used
+        self._access_ops.append((op, buffer, used))
+
+    # -- explicit-partition port demands -------------------------------
+
+    def _collect_demands(self) -> None:
+        directives: List[Tuple[Value, str, int]] = []
+        for op in self.function.walk():
+            if op.name == "hw.partition" and op.operands:
+                directives.append((
+                    op.operands[0], str(op.attr("scheme")),
+                    int(op.attr("factor", 1)),
+                ))
+        if not directives:
+            return
+        access_ops = self._access_ops
+        for buffer, scheme, factor in directives:
+            if scheme == "complete":
+                continue
+            # group this buffer's accesses by the innermost loop their
+            # indices depend on — dependence comes from the interval
+            # vars, so non-affine indices group correctly too.
+            groups: Dict[int, Tuple[LoopFacts, int]] = {}
+            for op, accessed, used in access_ops:
+                if accessed is not buffer:
+                    continue
+                deepest: Optional[LoopFacts] = None
+                for var in used:
+                    loop = self.loop_of_var.get(var)
+                    if loop is not None and (
+                        deepest is None or loop.depth > deepest.depth
+                    ):
+                        deepest = loop
+                if deepest is None or not deepest.innermost:
+                    continue
+                previous = groups.get(id(deepest))
+                count = previous[1] + 1 if previous else 1
+                groups[id(deepest)] = (deepest, count)
+            for loop, count in groups.values():
+                self.facts.demands.append(PartitionDemand(
+                    buffer=buffer.name, scheme=scheme, factor=factor,
+                    accesses=count, trip=loop.trip,
+                ))
+
+
+def _affine_flags(
+    indices, loop_of_var: Dict[int, LoopFacts]
+) -> List[bool]:
+    """Which indices the affine MEM001 check already covers."""
+    from repro.core.analysis.partition import LoopInfo, _affine_of
+
+    affine_loops: Dict[int, LoopInfo] = {}
+    for var, loop in loop_of_var.items():
+        # _affine_of only needs membership; ranges are unused there.
+        affine_loops[var] = None  # type: ignore[assignment]
+    return [
+        _affine_of(index, affine_loops) is not None for index in indices
+    ]
+
+
+# ---------------------------------------------------------------------
+# Entry points.
+
+
+def compute_function_facts(function: Function) -> FunctionFacts:
+    """Abstractly interpret one function."""
+    return _FunctionInterpreter(function).run()
+
+
+def compute_facts(module: Module) -> AnalysisFacts:
+    """Abstractly interpret every function of a module."""
+    facts = AnalysisFacts()
+    for function in module.functions():
+        facts.functions[function.name] = compute_function_facts(function)
+    return facts
+
+
+def check_module_ranges(
+    module: Module,
+    diagnostics: Optional[Diagnostics] = None,
+    facts: Optional[AnalysisFacts] = None,
+) -> Diagnostics:
+    """MEM004 (range-proven out-of-bounds) + LINT004 (dead constructs).
+
+    Accesses whose indices are syntactically affine are left to the
+    exact MEM001 check; everything here is the non-affine remainder.
+    A *tight* violating interval is an error (the bound is attained on
+    a real iteration); a loose one only warns, so over-approximation
+    can never produce a false-positive error.
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    facts = facts if facts is not None else compute_facts(module)
+    for name in sorted(facts.functions):
+        function_facts = facts.functions[name]
+        for access in function_facts.accesses:
+            for position, dim in enumerate(access.dims):
+                if dim.affine or dim.in_bounds:
+                    continue
+                span = (f"[{_render_bound(dim.lo)}, "
+                        f"{_render_bound(dim.hi)}]")
+                if dim.always_oob or dim.tight:
+                    diagnostics.error(
+                        "MEM004",
+                        f"{access.kind} on %{access.buffer}: inferred "
+                        f"range {span} of index {position} "
+                        f"{'never enters' if dim.always_oob else 'escapes'} "
+                        f"dimension of size {dim.size}",
+                        anchor=access.anchor, analysis="absint",
+                    )
+                elif dim.lo != -_INF or dim.hi != _INF:
+                    # a half-bounded range is informative enough to
+                    # warn about; a fully-unknown index is a dynamic-
+                    # check concern, exactly like the affine pass.
+                    diagnostics.warning(
+                        "MEM004",
+                        f"{access.kind} on %{access.buffer}: inferred "
+                        f"range {span} of index {position} may escape "
+                        f"dimension of size {dim.size}",
+                        anchor=access.anchor, analysis="absint",
+                    )
+        for dead in function_facts.dead:
+            diagnostics.error(
+                "LINT004", dead.message,
+                anchor=dead.anchor, analysis="absint",
+            )
+    return diagnostics
+
+
+def _render_bound(value: float) -> str:
+    if value == -_INF:
+        return "-inf"
+    if value == _INF:
+        return "+inf"
+    return str(int(value))
+
+
+# ---------------------------------------------------------------------
+# Interprocedural shape/dtype contracts (WF010/WF011).
+
+
+def _shape_of(declared) -> Optional[Tuple[int, ...]]:
+    if isinstance(declared, (TensorType, MemRefType)):
+        return tuple(declared.shape)
+    return None
+
+
+def _dtype_of(declared) -> str:
+    if isinstance(declared, (TensorType, MemRefType)):
+        return declared.element.name
+    if isinstance(declared, ScalarType):
+        return declared.name
+    return str(declared)
+
+
+def _compare_types(
+    diagnostics: Diagnostics, anchor: str, role: str,
+    actual, expected,
+) -> None:
+    actual_shape, expected_shape = _shape_of(actual), _shape_of(expected)
+    if actual_shape != expected_shape:
+        diagnostics.error(
+            "WF010",
+            f"{role} has shape "
+            f"{_render_shape(actual_shape, actual)} but the callee "
+            f"declares {_render_shape(expected_shape, expected)}",
+            anchor=anchor, analysis="absint",
+        )
+        return
+    if _dtype_of(actual) != _dtype_of(expected):
+        diagnostics.error(
+            "WF011",
+            f"{role} has dtype {_dtype_of(actual)} but the callee "
+            f"declares {_dtype_of(expected)}",
+            anchor=anchor, analysis="absint",
+        )
+
+
+def _render_shape(shape: Optional[Tuple[int, ...]], declared) -> str:
+    if shape is None:
+        return f"{declared} (scalar)"
+    return "x".join(str(dim) for dim in shape) or "<>"
+
+
+def check_module_contracts(
+    module: Module,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Propagate shapes/dtypes across workflow tasks and calls.
+
+    Every ``workflow.task`` and ``func.call`` is checked against the
+    signature of the kernel it invokes: a producer→consumer shape
+    mismatch is WF010, a dtype mismatch WF011. Unknown callees are
+    skipped (symbol resolution is not this check's concern).
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    for op in module.walk():
+        if op.name == "workflow.task":
+            callee = op.attr("kernel")
+            task = op.attr("sym_name") or "task"
+        elif op.name == "func.call":
+            callee = op.attr("callee")
+            task = "func.call"
+        else:
+            continue
+        if not isinstance(callee, str):
+            continue
+        function = module.find_function(callee)
+        if function is None:
+            continue
+        anchor = f"{callee}/{task}"
+        expected_inputs = function.type.inputs
+        if len(op.operands) != len(expected_inputs):
+            diagnostics.error(
+                "WF010",
+                f"{task} passes {len(op.operands)} operands but kernel "
+                f"{callee!r} takes {len(expected_inputs)}",
+                anchor=anchor, analysis="absint",
+            )
+        else:
+            for position, (operand, expected) in enumerate(
+                zip(op.operands, expected_inputs)
+            ):
+                _compare_types(
+                    diagnostics, anchor,
+                    f"{task}: operand {position} (%{operand.name})",
+                    operand.type, expected,
+                )
+        expected_results = function.type.results
+        if len(op.results) != len(expected_results):
+            diagnostics.error(
+                "WF010",
+                f"{task} binds {len(op.results)} results but kernel "
+                f"{callee!r} returns {len(expected_results)}",
+                anchor=anchor, analysis="absint",
+            )
+        else:
+            for position, (result, expected) in enumerate(
+                zip(op.results, expected_results)
+            ):
+                _compare_types(
+                    diagnostics, anchor,
+                    f"{task}: result {position}",
+                    result.type, expected,
+                )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------
+# DSE space pruning: static partition legality.
+
+
+def partition_conflict(
+    facts: Optional[FunctionFacts], knobs
+) -> Optional[str]:
+    """Why a knob assignment is statically illegal, or ``None``.
+
+    The single source of truth shared by the cost model (which rejects
+    before synthesis) and the explorer's pruner (which rejects before
+    calling the cost model at all) — both must produce the *same*
+    infeasibility reason so pruned and unpruned explorations serialize
+    byte-identically.
+    """
+    if facts is None or knobs.target != "fpga" or not facts.demands:
+        return None
+    from repro.core.hls.memory import PORTS_PER_BANK
+
+    for demand in facts.demands:
+        effective = min(int(knobs.unroll), demand.trip) if (
+            demand.trip > 0
+        ) else 1
+        if effective <= 1:
+            continue
+        demanded = demand.accesses * effective
+        ports = demand.factor * PORTS_PER_BANK
+        if demanded > ports:
+            return (
+                f"partition: %{demand.buffer} needs {demanded} ports "
+                f"({demand.accesses} accesses x unroll {effective}) "
+                f"but {demand.scheme} factor {demand.factor} "
+                f"provides {ports}"
+            )
+    return None
+
+
+# Facts for the DSE hot path, memoized by content digest so pricing a
+# thousand knob points re-analyzes the kernel exactly once.
+_FACTS_MEMO: "OrderedDict[Tuple[str, str], FunctionFacts]" = OrderedDict()
+_FACTS_LOCK = threading.Lock()
+_FACTS_MEMO_CAPACITY = 256
+
+
+def function_facts(
+    module: Module, kernel: str, digest: Optional[str] = None
+) -> Optional[FunctionFacts]:
+    """Digest-memoized facts for one kernel of a module."""
+    if digest is None:
+        from repro.core.ir.digest import module_digest
+
+        digest = module_digest(module)
+    key = (digest, kernel)
+    with _FACTS_LOCK:
+        cached = _FACTS_MEMO.get(key)
+        if cached is not None:
+            _FACTS_MEMO.move_to_end(key)
+            return cached
+    function = module.find_function(kernel)
+    if function is None:
+        return None
+    facts = compute_function_facts(function)
+    with _FACTS_LOCK:
+        _FACTS_MEMO[key] = facts
+        while len(_FACTS_MEMO) > _FACTS_MEMO_CAPACITY:
+            _FACTS_MEMO.popitem(last=False)
+    return facts

@@ -57,10 +57,12 @@ CODES: Dict[str, str] = {
     "MEM001": "memory access is out of bounds",
     "MEM002": "partition factor cannot serve the access pattern (bank conflict)",
     "MEM003": "partition directive is malformed or wasteful",
+    "MEM004": "inferred value range proves the access out of bounds",
     # generic lints
     "LINT001": "result of a pure operation is never used",
     "LINT002": "block is unreachable",
     "LINT003": "function is never referenced",
+    "LINT004": "branch or loop is statically dead (never taken)",
     # workflow DAG
     "WF001": "workflow contains a dependency cycle",
     "WF002": "task consumes an object nothing produces",
@@ -71,6 +73,8 @@ CODES: Dict[str, str] = {
     "WF007": "workflow run journal is corrupt",
     "WF008": "workflow journal/snapshot version skew",
     "WF009": "resume state does not match the run recipe",
+    "WF010": "producer and consumer disagree on a data object's shape",
+    "WF011": "producer and consumer disagree on a data object's dtype",
     # pass pipeline
     "PM001": "module became invalid after a pass",
     "PM002": "analysis found errors after a pass",
@@ -142,6 +146,21 @@ class Diagnostic:
             payload["file"], payload["line"] = self.loc
         return payload
 
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (used by the analysis cache)."""
+        loc: Optional[Tuple[str, int]] = None
+        if "file" in payload:
+            loc = (str(payload["file"]), int(payload["line"]))  # type: ignore[arg-type]
+        return Diagnostic(
+            code=str(payload["code"]),
+            severity=Severity(str(payload["severity"])),
+            message=str(payload["message"]),
+            anchor=str(payload.get("anchor", "")),
+            analysis=str(payload.get("analysis", "")),
+            loc=loc,
+        )
+
 
 @dataclass
 class Diagnostics:
@@ -179,6 +198,11 @@ class Diagnostics:
     def note(self, code: str, message: str, **kwargs) -> Diagnostic:
         """Shorthand for a NOTE finding."""
         return self.emit(code, message, Severity.NOTE, **kwargs)
+
+    @staticmethod
+    def from_dicts(payloads: Iterable[Dict[str, object]]) -> "Diagnostics":
+        """Rebuild a collection from :meth:`Diagnostic.to_dict` output."""
+        return Diagnostics([Diagnostic.from_dict(p) for p in payloads])
 
     # ------------------------------------------------------------------
 

@@ -14,7 +14,11 @@ Runs over kernel-form functions (explicit ``kernel.for`` nests with
 Index expressions are recovered symbolically: constants, loop
 induction variables and ``addi``/``subi``/``muli`` combinations form
 affine functions whose min/max over the loop ranges are exact. Non-
-affine indices are skipped (they are a dynamic-check concern).
+affine indices fall back to the interval facts of
+:mod:`repro.core.analysis.absint` when available: their inferred
+dependence sets place them under the right loop for the MEM002
+port-demand check, and their value ranges are checked by MEM004 —
+only a fully-unknown index remains a dynamic-check concern.
 """
 
 from __future__ import annotations
@@ -189,9 +193,17 @@ def _collect_accesses(function: Function,
     return accesses
 
 
-def _innermost_loop(access: Access,
-                    loops: Dict[int, LoopInfo]) -> Optional[LoopInfo]:
-    """Deepest loop whose induction var the access references."""
+def _innermost_loop(
+    access: Access,
+    loops: Dict[int, LoopInfo],
+    op_vars: Optional[Dict[int, frozenset]] = None,
+) -> Optional[LoopInfo]:
+    """Deepest loop whose induction var the access references.
+
+    Affine term sets are used when recovered; otherwise the interval
+    facts' dependence sets (``op_vars``) answer for non-affine indices
+    such as ``i*i``.
+    """
     best: Optional[LoopInfo] = None
     for index in access.indices:
         if index is None:
@@ -199,6 +211,13 @@ def _innermost_loop(access: Access,
         for key in index.terms:
             info = loops[key]
             if best is None or info.depth > best.depth:
+                best = info
+    if best is None and op_vars is not None:
+        for key in op_vars.get(id(access.op), ()):  # absint dependence
+            info = loops.get(key)
+            if info is not None and (
+                best is None or info.depth > best.depth
+            ):
                 best = info
     return best
 
@@ -236,7 +255,9 @@ def _partition_directives(
 
 def _check_partitions(function: Function, accesses: List[Access],
                       loops: Dict[int, LoopInfo],
-                      diagnostics: Diagnostics) -> None:
+                      diagnostics: Diagnostics,
+                      op_vars: Optional[Dict[int, frozenset]] = None,
+                      ) -> None:
     # deferred: hls.memory pulls in the CDFG machinery, which imports
     # the IR package this analysis is reachable from (verifier)
     from repro.core.hls.memory import (
@@ -271,13 +292,14 @@ def _check_partitions(function: Function, accesses: List[Access],
             continue
         # group accesses by the loop they unroll under
         by_loop: Dict[int, List[Access]] = {}
+        loop_for_group: Dict[int, LoopInfo] = {}
         for access in buffer_accesses:
-            info = _innermost_loop(access, loops)
+            info = _innermost_loop(access, loops, op_vars)
             if info is not None and info.unroll > 1:
                 by_loop.setdefault(id(info.op), []).append(access)
-        for grouped in by_loop.values():
-            info = _innermost_loop(grouped[0], loops)
-            assert info is not None
+                loop_for_group[id(info.op)] = info
+        for group_key, grouped in by_loop.items():
+            info = loop_for_group[group_key]
             unroll = info.unroll
             ports = factor * PORTS_PER_BANK
             demanded = len(grouped) * unroll
@@ -325,8 +347,15 @@ def _check_partitions(function: Function, accesses: List[Access],
 def check_function_partitioning(
     function: Function,
     diagnostics: Optional[Diagnostics] = None,
+    facts=None,
 ) -> Diagnostics:
-    """Bounds + partition-legality checks for one function."""
+    """Bounds + partition-legality checks for one function.
+
+    ``facts`` is an optional
+    :class:`~repro.core.analysis.absint.FunctionFacts`: its dependence
+    sets extend the MEM002 bank-conflict check to accesses whose
+    indices are not syntactically affine.
+    """
     diagnostics = diagnostics if diagnostics is not None else Diagnostics()
     if function.is_declaration:
         return diagnostics
@@ -334,17 +363,29 @@ def check_function_partitioning(
     accesses = _collect_accesses(function, loops)
     if not accesses:
         return diagnostics
+    op_vars = facts.op_vars if facts is not None else None
     _check_bounds(function, accesses, loops, diagnostics)
-    _check_partitions(function, accesses, loops, diagnostics)
+    _check_partitions(function, accesses, loops, diagnostics,
+                      op_vars=op_vars)
     return diagnostics
 
 
 def check_module_partitioning(
     module: Module,
     diagnostics: Optional[Diagnostics] = None,
+    facts=None,
 ) -> Diagnostics:
-    """Partition-legality checks for every function of a module."""
+    """Partition-legality checks for every function of a module.
+
+    ``facts`` is an optional
+    :class:`~repro.core.analysis.absint.AnalysisFacts` shared with the
+    absint pass (see :func:`repro.core.analysis.analyze_module`).
+    """
     diagnostics = diagnostics if diagnostics is not None else Diagnostics()
     for function in module.functions():
-        check_function_partitioning(function, diagnostics)
+        function_facts = (
+            facts.function(function.name) if facts is not None else None
+        )
+        check_function_partitioning(function, diagnostics,
+                                    facts=function_facts)
     return diagnostics

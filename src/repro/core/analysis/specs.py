@@ -3,6 +3,9 @@
 ``python -m repro lint`` accepts:
 
 * a ``.edsl`` file of kernel-DSL source — compiled to an IR module;
+* a ``.ir`` file of printed IR — parsed back to a module, so lowered
+  kernel-form fixtures (explicit loops, ``hw.partition`` directives)
+  lint without a DSL front end;
 * a ``.py`` file — every string constant that looks like kernel-DSL
   source (``kernel name(...)``) is extracted via the ``ast`` module
   and compiled, so the shipped examples lint without being executed;
@@ -13,6 +16,10 @@
 Each target is a :class:`LintTarget` carrying either an IR module or a
 workflow spec; load failures become DSL001 diagnostics instead of
 exceptions so a single bad file does not hide findings in the rest.
+
+Expansion is fully deterministic: directory walks sort both the
+subdirectory and the file lists, so ``repro lint`` over a tree emits
+byte-identical reports on any filesystem and any worker count.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from repro.errors import EverestError
 
 _KERNEL_RE = re.compile(r"\bkernel\s+\w+\s*\(")
 
-_EXTENSIONS = (".edsl", ".py", ".json")
+_EXTENSIONS = (".edsl", ".ir", ".py", ".json")
 
 
 @dataclass
@@ -77,47 +84,59 @@ def _load_module_target(
     return LintTarget(name=name, kind="module", module=module)
 
 
-def load_lint_targets(
-    path: str, diagnostics: Optional[Diagnostics] = None
-) -> List[LintTarget]:
-    """Expand a path into lint targets, recording load failures.
-
-    Returns the targets; load problems are emitted as DSL001 on the
-    passed (or a fresh) diagnostics collection accessible through each
-    call site.
-    """
-    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
-    targets: List[LintTarget] = []
-    if os.path.isdir(path):
-        for root, _dirs, files in os.walk(path):
-            for filename in sorted(files):
-                if filename.endswith(_EXTENSIONS):
-                    targets.extend(
-                        load_lint_targets(
-                            os.path.join(root, filename), diagnostics
-                        )
-                    )
-        return targets
-
-    if not os.path.exists(path):
-        diagnostics.error(
-            "DSL001", "no such file or directory",
-            anchor=path, analysis="loader",
-        )
-        return targets
+def _load_ir_target(
+    name: str, source: str, diagnostics: Diagnostics
+) -> Optional[LintTarget]:
+    from repro.core.ir.parser import parse_module
 
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
+        module = parse_module(source)
+    except EverestError as exc:
         diagnostics.error(
-            "DSL001", f"cannot read spec: {exc}",
-            anchor=path, analysis="loader",
+            "DSL001",
+            f"cannot parse IR: {exc}",
+            anchor=name,
+            analysis="loader",
         )
-        return targets
+        return None
+    return LintTarget(name=name, kind="module", module=module)
 
+
+def expand_spec_files(path: str) -> List[str]:
+    """Deterministically expand one CLI path into spec files.
+
+    A directory yields every ``_EXTENSIONS`` file beneath it with both
+    the directory and file walk order sorted; anything else (including
+    a nonexistent path — its error is reported at load time) passes
+    through unchanged.
+    """
+    if not os.path.isdir(path):
+        return [path]
+    found: List[str] = []
+    for root, dirs, files in os.walk(path):
+        dirs.sort()
+        for filename in sorted(files):
+            if filename.endswith(_EXTENSIONS):
+                found.append(os.path.join(root, filename))
+    return found
+
+
+def load_targets_from_text(
+    path: str, text: str, diagnostics: Diagnostics
+) -> List[LintTarget]:
+    """Targets for one spec file whose contents are already in hand.
+
+    This is the unit the incremental lint cache keys on: pure in
+    ``(path, text)``, so a warm ``repro lint --incremental`` replays
+    the stored findings without parsing or compiling anything.
+    """
+    targets: List[LintTarget] = []
     if path.endswith(".edsl"):
         target = _load_module_target(path, text, diagnostics)
+        if target:
+            targets.append(target)
+    elif path.endswith(".ir"):
+        target = _load_ir_target(path, text, diagnostics)
         if target:
             targets.append(target)
     elif path.endswith(".py"):
@@ -148,5 +167,47 @@ def load_lint_targets(
             "DSL001",
             f"unsupported spec type (expected one of {_EXTENSIONS})",
             anchor=path, analysis="loader",
+        )
+    return targets
+
+
+def read_spec_text(
+    path: str, diagnostics: Diagnostics
+) -> Optional[str]:
+    """The file's text, or None with a DSL001 recorded."""
+    if not os.path.exists(path):
+        diagnostics.error(
+            "DSL001", "no such file or directory",
+            anchor=path, analysis="loader",
+        )
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        diagnostics.error(
+            "DSL001", f"cannot read spec: {exc}",
+            anchor=path, analysis="loader",
+        )
+        return None
+
+
+def load_lint_targets(
+    path: str, diagnostics: Optional[Diagnostics] = None
+) -> List[LintTarget]:
+    """Expand a path into lint targets, recording load failures.
+
+    Returns the targets; load problems are emitted as DSL001 on the
+    passed (or a fresh) diagnostics collection accessible through each
+    call site.
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    targets: List[LintTarget] = []
+    for filename in expand_spec_files(path):
+        text = read_spec_text(filename, diagnostics)
+        if text is None:
+            continue
+        targets.extend(
+            load_targets_from_text(filename, text, diagnostics)
         )
     return targets

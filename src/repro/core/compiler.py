@@ -18,7 +18,10 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.core.analysis import analyze_module, check_pipeline_concurrency
+from repro.core.analysis import (
+    analyze_module_cached,
+    check_pipeline_concurrency,
+)
 from repro.core.analysis.diagnostics import Diagnostics, raise_if_errors
 from repro.core.backend.binary import Artifact, SoftwareBinary
 from repro.core.backend.packaging import VariantPackage
@@ -30,7 +33,7 @@ from repro.core.dse.cost_model import (
 from repro.core.dse.explorer import ExplorationResult, Explorer
 from repro.core.dse.space import DesignSpace
 from repro.core.dsl.annotations import Sensitivity
-from repro.core.dsl.workflow import Pipeline
+from repro.core.dsl.workflow import Pipeline, lint_pipeline_contracts
 from repro.core.hls.bambu import HLSOptions, synthesize
 from repro.core.hls.scheduling import ResourceBudget
 from repro.core.ir.module import Module
@@ -112,12 +115,24 @@ class EverestCompiler:
             diagnostics = Diagnostics()
             if self.static_checks:
                 # Pre-DSE gate: exploring or synthesizing a module that
-                # statically violates a secure.* policy or banks memory
-                # illegally would only waste the DSE budget.
+                # statically violates a secure.* policy, banks memory
+                # illegally or wires mismatched task contracts would
+                # only waste the DSE budget. The IR analyses are
+                # memoized by the module's content digest — recompiling
+                # an unchanged pipeline replays the stored findings.
                 with tracer.span("static-checks",
                                  category=COMPILE_CATEGORY) as span:
-                    analyze_module(module, diagnostics)
+                    # Whether the per-pass spans fire depends on
+                    # cache warmth; mute the tracer (but keep the
+                    # ambient metrics, which carry the hit/miss
+                    # counters) so identical compiles produce
+                    # identical traces at any cache temperature.
+                    with observe(Observation(metrics=metrics)):
+                        cached, _facts, _hit = analyze_module_cached(
+                            module)
+                    diagnostics.extend(cached)
                     check_pipeline_concurrency(pipeline, diagnostics)
+                    lint_pipeline_contracts(pipeline, diagnostics)
                     span.note(findings=len(diagnostics.items))
                 raise_if_errors(diagnostics, AnalysisError)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.analysis.absint import function_facts, partition_conflict
 from repro.core.dse.cache import CostCache, cost_cache, prepared_cache
 from repro.core.hls.bambu import HLSOptions, synthesize
 from repro.core.hls.scheduling import ResourceBudget
@@ -261,6 +262,18 @@ def _evaluate_fpga(
         return CostEstimate(
             latency_s=float("inf"), energy_j=float("inf"),
             feasible=False, infeasible_reason="no FPGA on this node",
+        )
+    # Static partition-legality gate: knob points whose unroll provably
+    # over-subscribes an explicitly partitioned buffer's ports are
+    # rejected before any pass or scheduling work. The explorer prunes
+    # on the same predicate, so both paths report the same reason.
+    conflict = partition_conflict(
+        function_facts(module, kernel, digest), knobs
+    )
+    if conflict is not None:
+        return CostEstimate(
+            latency_s=float("inf"), energy_j=float("inf"),
+            feasible=False, infeasible_reason=conflict,
         )
     prepared = prepare_variant_module(module, kernel, knobs, digest)
     options = HLSOptions(

@@ -26,17 +26,19 @@ front-growth curve costs O(n·front) instead of O(n³).
 from __future__ import annotations
 
 import json
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.analysis.absint import function_facts
 from repro.core.dse.cache import cost_cache, prepared_cache
 from repro.core.dse.cost_model import (
     ArchitectureModel,
     evaluate_variant,
 )
 from repro.core.dse.pareto import ParetoFront
-from repro.core.dse.space import DesignSpace, neighborhood
+from repro.core.dse.space import DesignSpace, neighborhood, static_conflict
 from repro.core.dsl.annotations import Requirement, RequirementKind
 from repro.core.ir.digest import module_digest
 from repro.core.ir.module import Module
@@ -133,6 +135,7 @@ class Explorer:
         model: Optional[ArchitectureModel] = None,
         requirements: Optional[Sequence[Requirement]] = None,
         workers: int = 1,
+        prune: bool = True,
     ):
         if workers < 1:
             raise DSEError(f"workers must be >= 1, got {workers}")
@@ -142,9 +145,24 @@ class Explorer:
         self.model = model or ArchitectureModel()
         self.requirements = list(requirements or [])
         self.workers = workers
+        self.prune = prune
         #: Content digest of the source module, computed once per
         #: explorer so per-point cache lookups skip re-hashing.
         self._digest = module_digest(module)
+        #: Interval facts for the kernel, shared with the cost model's
+        #: own static gate through the digest-keyed memo. Pruning only
+        #: fires on nodes that have an FPGA at all: on a CPU-only
+        #: model the cost model reports "no FPGA on this node" first,
+        #: and the pruner must not preempt that reason.
+        self._facts = (
+            function_facts(module, kernel, self._digest)
+            if prune
+            and self.model.fpga_role_capacity is not None
+            and self.model.fpga_link is not None
+            else None
+        )
+        self._pruned = 0
+        self._prune_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -154,7 +172,21 @@ class Explorer:
         Pure with respect to exploration state, so it is safe to run
         from batch worker threads; cost-cache hits return fresh
         estimates, making the in-place requirement rewrite private.
+
+        Statically illegal points (a partition whose ports an unrolled
+        access pattern provably over-subscribes) short-circuit before
+        the cost model runs; the estimate they return is exactly what
+        the cost model's own gate would have produced, so pruned and
+        unpruned explorations serialize byte-identically.
         """
+        conflict = static_conflict(knobs, self._facts)
+        if conflict is not None:
+            with self._prune_lock:
+                self._pruned += 1
+            return CostEstimate(
+                latency_s=float("inf"), energy_j=float("inf"),
+                feasible=False, infeasible_reason=conflict,
+            )
         cost = evaluate_variant(self.module, self.kernel, knobs,
                                 self.model, digest=self._digest)
         if cost.feasible:
@@ -341,6 +373,7 @@ class Explorer:
                 evaluations=result.evaluations,
                 front=len(result.front),
                 feasible=len(result.feasible),
+                pruned=self._pruned,
             )
         if tracer.enabled and tracer.detailed:
             # Pareto-front growth curve: front size after each prefix
@@ -364,6 +397,11 @@ class Explorer:
         metrics.counter(
             "dse.front_points", "Pareto-optimal points found",
         ).inc(len(result.front), kernel=self.kernel)
+        if self._pruned:
+            metrics.counter(
+                "dse.pruned_points",
+                "points rejected statically before pricing",
+            ).inc(self._pruned, kernel=self.kernel)
         # Cache traffic this run caused, published from the main
         # thread (workers never touch the ambient observation).
         for cache_name, stats, before in (

@@ -271,3 +271,77 @@ class Pipeline:
                 if isinstance(input_value, TaskOutput):
                     edges.append((input_value.task.name, task.name))
         return edges
+
+
+def lint_pipeline_contracts(
+    pipeline: Pipeline,
+    diagnostics=None,
+    module: Optional[Module] = None,
+):
+    """Collect every producer→consumer contract mismatch (WF010/WF011).
+
+    :meth:`Pipeline.to_ir` fails fast on the first incompatible edge;
+    this adapter instead propagates each object's declared type through
+    the whole dataflow — source declarations forward through task
+    kernels' signatures — and reports *all* shape (WF010) and dtype
+    (WF011) disagreements as diagnostics, so the lint CLI and the
+    compiler's static gate surface every contract bug at once.
+
+    Pass the already-lowered ``module`` to resolve kernel signatures
+    without recompiling the DSL sources (what the compiler does);
+    without it the kernel sources are compiled here, and sources that
+    fail to compile are skipped — broken DSL text is DSL001's concern,
+    not this check's. Returns the diagnostics collection.
+    """
+    from repro.core.analysis.absint import _compare_types
+    from repro.core.analysis.diagnostics import Diagnostics
+
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    signatures: Dict[str, object] = {}
+    if module is not None:
+        for function in module.functions():
+            signatures.setdefault(function.name, function.type)
+    else:
+        for source_text in pipeline._kernel_sources:
+            try:
+                compiled = compile_kernel(source_text)
+            except SpecificationError:
+                continue
+            for function in compiled.functions():
+                signatures.setdefault(function.name, function.type)
+
+    value_types: Dict[object, Type] = {
+        id(source): source.type for source in pipeline.sources
+    }
+    for task in pipeline.tasks:
+        signature = signatures.get(task.kernel)
+        if signature is None:
+            continue  # unknown kernel: to_ir reports that, not us
+        anchor = f"{task.kernel}/{task.name}"
+        expected = signature.inputs
+        if len(task.inputs) != len(expected):
+            diagnostics.error(
+                "WF010",
+                f"task {task.name!r} wires {len(task.inputs)} inputs "
+                f"but kernel {task.kernel!r} declares {len(expected)}",
+                anchor=anchor, analysis="absint",
+            )
+        else:
+            for position, (input_value, expected_type) in enumerate(
+                zip(task.inputs, expected)
+            ):
+                if isinstance(input_value, TaskOutput):
+                    key = (id(input_value.task), input_value.index)
+                else:
+                    key = id(input_value)
+                actual = value_types.get(key)
+                if actual is None:
+                    continue  # producer signature unknown: skip edge
+                _compare_types(
+                    diagnostics, anchor,
+                    f"input {position} of task {task.name!r}",
+                    actual, expected_type,
+                )
+        for index, result_type in enumerate(signature.results):
+            value_types[(id(task), index)] = result_type
+    return diagnostics

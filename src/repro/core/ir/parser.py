@@ -161,6 +161,9 @@ class IRParser:
             )
             for (ssa, _t), value in zip(arg_entries, block.arguments):
                 if ssa is not None:
+                    # keep the printed name: diagnostics mention it, so
+                    # reparsing the same text must yield the same names
+                    value.name = ssa[1:]
                     self.values[ssa] = value
             while not self._accept("punct", "}"):
                 block.append(self._parse_op())
@@ -209,6 +212,7 @@ class IRParser:
             attributes=attrs,
         )
         for name, value in zip(result_names, op.results):
+            value.name = name[1:]
             self.values[name] = value
 
         if self._accept("punct", "{"):
@@ -249,6 +253,7 @@ class IRParser:
             self._expect("punct", ":")
             block = region.add_block([t for _n, t in arg_entries])
             for (ssa, _t), value in zip(arg_entries, block.arguments):
+                value.name = ssa[1:]
                 self.values[ssa] = value
         else:
             block = region.add_block()

@@ -1,0 +1,179 @@
+"""Digest-keyed incremental analysis cache tests."""
+
+import json
+
+from repro.core.analysis import analyze_module_cached
+from repro.core.analysis.cache import (
+    AnalysisCache,
+    analysis_cache,
+    clear_analysis_cache,
+    configure_analysis_cache,
+    default_analysis_cache_dir,
+)
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.obs import MetricsRegistry, Observation, observe
+
+SRC = """
+kernel f(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = relu(X)
+  return Y
+}
+"""
+
+OTHER_SRC = """
+kernel f(X: tensor<16xf32>) -> tensor<16xf32> {
+  Y = relu(X)
+  return Y
+}
+"""
+
+
+class TestKeys:
+    def test_module_key_is_deterministic(self):
+        key = AnalysisCache.module_key("d1", ("absint", "taint"), False)
+        assert key == AnalysisCache.module_key(
+            "d1", ("absint", "taint"), False)
+
+    def test_module_key_ignores_check_order(self):
+        assert AnalysisCache.module_key(
+            "d1", ("taint", "absint"),
+        ) == AnalysisCache.module_key("d1", ("absint", "taint"))
+
+    def test_module_key_varies_on_every_input(self):
+        base = AnalysisCache.module_key("d1", ("absint",), False)
+        assert AnalysisCache.module_key("d2", ("absint",), False) != base
+        assert AnalysisCache.module_key("d1", ("taint",), False) != base
+        assert AnalysisCache.module_key("d1", ("absint",), True) != base
+
+    def test_source_key_varies_on_text_and_checks(self):
+        base = AnalysisCache.source_key("spec-a", ("absint",))
+        assert AnalysisCache.source_key("spec-a", ("absint",)) == base
+        assert AnalysisCache.source_key("spec-b", ("absint",)) != base
+        assert AnalysisCache.source_key("spec-a", ("taint",)) != base
+
+
+class TestStore:
+    def test_memory_round_trip(self):
+        cache = AnalysisCache()
+        assert cache.get("k") is None
+        cache.put("k", {"value": 1})
+        assert cache.get("k") == {"value": 1}
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        first = AnalysisCache(directory=tmp_path / "store")
+        first.put("abcd", {"value": 2})
+        second = AnalysisCache(directory=tmp_path / "store")
+        assert second.get("abcd") == {"value": 2}
+        # entries are sharded by key prefix
+        assert (tmp_path / "store" / "ab" / "abcd.json").exists()
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        cache = AnalysisCache(directory=tmp_path / "store")
+        cache.put("abcd", {"value": 3})
+        path = tmp_path / "store" / "ab" / "abcd.json"
+        entry = json.loads(path.read_text())
+        entry["version"] = "unreleased"
+        path.write_text(json.dumps(entry))
+        fresh = AnalysisCache(directory=tmp_path / "store")
+        assert fresh.get("abcd") is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = AnalysisCache(directory=tmp_path / "store")
+        cache.put("abcd", {"value": 4})
+        (tmp_path / "store" / "ab" / "abcd.json").write_text("{oops")
+        fresh = AnalysisCache(directory=tmp_path / "store")
+        assert fresh.get("abcd") is None
+
+    def test_disabled_cache_never_hits(self):
+        cache = AnalysisCache(enabled=False)
+        cache.put("k", {"value": 5})
+        assert cache.get("k") is None
+
+    def test_clear_drops_memory_and_disk(self, tmp_path):
+        cache = AnalysisCache(directory=tmp_path / "store")
+        cache.put("abcd", {"value": 6})
+        cache.put("efgh", {"value": 7})
+        assert cache.entry_count() == 2
+        assert cache.disk_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.get("abcd") is None
+
+    def test_default_dir_is_xdg_aware(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_analysis_cache_dir() == (
+            tmp_path / "xdg" / "repro-analysis")
+
+    def test_configure_replaces_process_instance(self, tmp_path):
+        configured = configure_analysis_cache(cache_dir=tmp_path / "a")
+        assert analysis_cache() is configured
+        configure_analysis_cache(cache_dir=None)
+        assert analysis_cache().directory is None
+
+
+class TestAnalyzeModuleCached:
+    def test_warm_hit_replays_identical_results(self):
+        clear_analysis_cache()
+        cold_diag, cold_facts, cold_hit = analyze_module_cached(
+            compile_kernel(SRC))
+        # a fresh but structurally identical module hits the cache
+        warm_diag, warm_facts, warm_hit = analyze_module_cached(
+            compile_kernel(SRC))
+        assert (cold_hit, warm_hit) == (False, True)
+        assert [item.to_dict() for item in cold_diag] == [
+            item.to_dict() for item in warm_diag]
+        assert cold_facts.to_payload() == warm_facts.to_payload()
+
+    def test_structural_change_misses(self):
+        clear_analysis_cache()
+        _, _, first = analyze_module_cached(compile_kernel(SRC))
+        _, _, second = analyze_module_cached(compile_kernel(OTHER_SRC))
+        assert (first, second) == (False, False)
+
+    def test_check_subset_keys_separately(self):
+        clear_analysis_cache()
+        analyze_module_cached(compile_kernel(SRC))
+        _, facts, hit = analyze_module_cached(
+            compile_kernel(SRC), checks=("taint",))
+        assert not hit
+        _, _, again = analyze_module_cached(
+            compile_kernel(SRC), checks=("taint",))
+        assert again
+
+    def test_traffic_reaches_the_metrics_registry(self):
+        clear_analysis_cache()
+        metrics = MetricsRegistry()
+        with observe(Observation(metrics=metrics)):
+            analyze_module_cached(compile_kernel(SRC))
+            analyze_module_cached(compile_kernel(SRC))
+        hits = metrics.counter("analysis.cache_hits")
+        misses = metrics.counter("analysis.cache_misses")
+        assert hits.value(layer="module") == 1
+        assert misses.value(layer="module") == 1
+
+
+class TestCompilerGateCaching:
+    def _pipeline(self):
+        from repro.core.dsl.workflow import Pipeline
+        from repro.core.ir.types import F32, TensorType
+
+        pipeline = Pipeline("app")
+        source = pipeline.source("raw", TensorType((8,), F32))
+        task = pipeline.task("t", SRC, inputs=[source], kernel="f")
+        pipeline.sink("out", task.output(0))
+        return pipeline
+
+    def test_second_compile_hits_the_analysis_cache(self):
+        from repro.core.compiler import EverestCompiler
+
+        clear_analysis_cache()
+        metrics = MetricsRegistry()
+        compiler = EverestCompiler(emit_artifacts=False)
+        with observe(Observation(metrics=metrics)):
+            compiler.compile(self._pipeline())
+            compiler.compile(self._pipeline())
+        assert metrics.counter(
+            "analysis.cache_hits").value(layer="module") == 1
+        assert metrics.counter(
+            "analysis.cache_misses").value(layer="module") == 1

@@ -42,6 +42,9 @@ class TestExitCodes:
             ("unproducible.json", "WF002"),
             ("overcapacity.json", "WF003"),
             ("dup_output.json", "WF004"),
+            ("oob_access.ir", "MEM004"),
+            ("dead_branch.ir", "LINT004"),
+            ("shape_mismatch.json", "WF010"),
         ],
     )
     def test_defect_fixture_exits_one_with_json(
@@ -119,6 +122,19 @@ class TestOptions:
             "error": 0, "warning": 0, "note": 0
         }
 
+    def test_dead_branch_fixture_names_both_defects(self, capsys):
+        path = os.path.join(FIXTURES, "dead_branch.ir")
+        assert run_lint(path) == 1
+        out = capsys.readouterr().out
+        assert "zero iterations" in out
+        assert "always true" in out
+
+    def test_oob_fixture_reports_the_inferred_range(self, capsys):
+        path = os.path.join(FIXTURES, "oob_access.ir")
+        assert run_lint(path) == 1
+        out = capsys.readouterr().out
+        assert "[0, 9]" in out and "size 8" in out
+
     def test_only_restricts_checks(self, tmp_path, capsys):
         # sensitive arg normally yields a SEC005 warning; --only
         # partition must not run the taint analysis
@@ -134,3 +150,97 @@ kernel score(X: tensor<4xf32> @sensitive) -> tensor<4xf32> {
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["counts"]["warning"] == 0
+
+
+class TestIncremental:
+    def _tree(self, root):
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "k.edsl").write_text(CLEAN_KERNEL)
+        (root / "nested").mkdir(exist_ok=True)
+        (root / "nested" / "m.edsl").write_text(
+            CLEAN_KERNEL.replace("smooth", "other"))
+        return str(root)
+
+    def test_warm_run_hits_and_keeps_stdout_identical(
+        self, tmp_path, capsys
+    ):
+        tree = self._tree(tmp_path / "specs")
+        cache_dir = str(tmp_path / "cache")
+        assert run_lint(
+            tree, "--incremental", "--cache-dir", cache_dir) == 0
+        cold = capsys.readouterr()
+        assert "0 hits, 2 misses" in cold.err
+        assert run_lint(
+            tree, "--incremental", "--cache-dir", cache_dir) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert "2 hits, 0 misses (100% hit ratio)" in warm.err
+
+    def test_warm_run_replays_error_exit_codes(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        path = os.path.join(FIXTURES, "oob_access.ir")
+        assert run_lint(
+            path, "--incremental", "--cache-dir", cache_dir) == 1
+        cold = capsys.readouterr()
+        assert run_lint(
+            path, "--incremental", "--cache-dir", cache_dir) == 1
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert "MEM004" in warm.out
+
+    def test_editing_a_file_invalidates_only_it(
+        self, tmp_path, capsys
+    ):
+        tree = self._tree(tmp_path / "specs")
+        cache_dir = str(tmp_path / "cache")
+        run_lint(tree, "--incremental", "--cache-dir", cache_dir)
+        capsys.readouterr()
+        (tmp_path / "specs" / "k.edsl").write_text(
+            CLEAN_KERNEL.replace("relu", "sigmoid"))
+        assert run_lint(
+            tree, "--incremental", "--cache-dir", cache_dir) == 0
+        assert "1 hits, 1 misses" in capsys.readouterr().err
+
+    def test_without_incremental_nothing_is_cached(
+        self, tmp_path, capsys
+    ):
+        spec = tmp_path / "k.edsl"
+        spec.write_text(CLEAN_KERNEL)
+        assert run_lint(str(spec)) == 0
+        assert "analysis cache" not in capsys.readouterr().err
+
+    def test_no_cache_keeps_the_store_in_memory(self, tmp_path, capsys):
+        spec = tmp_path / "k.edsl"
+        spec.write_text(CLEAN_KERNEL)
+        cache_dir = tmp_path / "cache"
+        assert run_lint(
+            str(spec), "--incremental", "--no-cache",
+            "--cache-dir", str(cache_dir),
+        ) == 0
+        assert not cache_dir.exists()
+
+
+class TestStats:
+    def test_stats_prints_per_pass_timings(self, tmp_path, capsys):
+        spec = tmp_path / "k.edsl"
+        spec.write_text(CLEAN_KERNEL)
+        assert run_lint(str(spec), "--stats") == 0
+        captured = capsys.readouterr()
+        assert "analysis passes" in captured.err
+        for name in ("analysis:absint", "analysis:taint",
+                     "analysis:shapes"):
+            assert name in captured.err
+        # the table goes to stderr; stdout stays machine-consumable
+        assert "analysis passes" not in captured.out
+
+    def test_fully_cached_stats_run_says_so(self, tmp_path, capsys):
+        spec = tmp_path / "k.edsl"
+        spec.write_text(CLEAN_KERNEL)
+        cache_dir = str(tmp_path / "cache")
+        run_lint(str(spec), "--incremental", "--cache-dir", cache_dir)
+        capsys.readouterr()
+        assert run_lint(
+            str(spec), "--incremental", "--cache-dir", cache_dir,
+            "--stats",
+        ) == 0
+        assert "(all results cached)" in capsys.readouterr().err

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.analysis.diagnostics import Diagnostics
 from repro.core.dsl.kernel_dsl import compile_kernel
 from repro.core.ir.passes import Pass, PassManager
 from repro.core.ir.types import F32
@@ -119,12 +120,13 @@ class TestCompilerGate:
         from repro.core import compiler as compiler_module
         from repro.core.compiler import EverestCompiler
 
-        def poisoned(module, diagnostics, **_kwargs):
+        def poisoned(module, **_kwargs):
+            diagnostics = Diagnostics()
             diagnostics.error("SEC001", "injected violation")
-            return diagnostics
+            return diagnostics, None, False
 
         monkeypatch.setattr(
-            compiler_module, "analyze_module", poisoned
+            compiler_module, "analyze_module_cached", poisoned
         )
         compiler = EverestCompiler(emit_artifacts=False)
         with pytest.raises(AnalysisError, match="SEC001"):
@@ -138,10 +140,52 @@ class TestCompilerGate:
             raise AssertionError("gate ran despite static_checks=False")
 
         monkeypatch.setattr(
-            compiler_module, "analyze_module", exploding
+            compiler_module, "analyze_module_cached", exploding
         )
         compiler = EverestCompiler(
             emit_artifacts=False, static_checks=False
         )
         app = compiler.compile(self._pipeline())
         assert app.package is not None
+
+
+class TestGateBlocksFixtureModules:
+    """The pre-DSE gate rejects the true-positive lint fixtures.
+
+    Same functions the compiler's ``static-checks`` span runs:
+    ``analyze_module_cached`` then ``raise_if_errors`` — so a module
+    that fails ``repro lint`` can never reach exploration either.
+    """
+
+    @pytest.mark.parametrize(
+        "fixture,code",
+        [("oob_access.ir", "MEM004"), ("dead_branch.ir", "LINT004")],
+    )
+    def test_fixture_module_raises_analysis_error(self, fixture, code):
+        import os
+
+        from repro.core.analysis import (
+            analyze_module_cached,
+            raise_if_errors,
+        )
+        from repro.core.ir.parser import parse_module
+
+        path = os.path.join(
+            os.path.dirname(__file__), "fixtures", fixture)
+        with open(path, "r", encoding="utf-8") as handle:
+            module = parse_module(handle.read())
+        diagnostics, _facts, _hit = analyze_module_cached(module)
+        with pytest.raises(AnalysisError, match=code):
+            raise_if_errors(diagnostics, AnalysisError)
+
+    def test_mismatched_pipeline_edge_never_reaches_dse(self):
+        from repro.core.compiler import EverestCompiler
+        from repro.core.dsl.workflow import Pipeline
+        from repro.core.ir.types import TensorType
+        from repro.errors import SpecificationError
+
+        pipeline = Pipeline("app")
+        wrong = pipeline.source("raw", TensorType((16,), F32))
+        pipeline.task("t", SRC, inputs=[wrong], kernel="f")
+        with pytest.raises(SpecificationError, match="does not match"):
+            EverestCompiler(emit_artifacts=False).compile(pipeline)

@@ -123,3 +123,82 @@ class TestAdapters:
         assert "WF003" not in _codes(exact)
         tight = lint_workflow(tasks, workers=[WorkerSpec("w", cpus=3)])
         assert "WF003" in _codes(tight)
+
+
+class TestSpecContracts:
+    """WF010/WF011 over per-object ``types`` declarations."""
+
+    def _spec(self, consumer_types):
+        return {
+            "name": "contracts",
+            "externals": ["raw"],
+            "types": {"raw": {"shape": [64, 32], "dtype": "f32"}},
+            "tasks": [
+                {
+                    "name": "clean", "inputs": ["raw"],
+                    "outputs": ["table"],
+                    "types": {
+                        "table": {"shape": [64, 16], "dtype": "f32"},
+                    },
+                },
+                {
+                    "name": "score", "inputs": ["table"],
+                    "outputs": ["result"],
+                    "types": consumer_types,
+                },
+            ],
+            "workers": [{"name": "w0", "cpus": 4}],
+        }
+
+    def test_matching_contract_is_clean(self):
+        spec = self._spec(
+            {"table": {"shape": [64, 16], "dtype": "f32"}})
+        assert not lint_workflow_spec(spec).items
+
+    def test_shape_disagreement_is_wf010(self):
+        spec = self._spec(
+            {"table": {"shape": [64, 32], "dtype": "f32"}})
+        diagnostics = lint_workflow_spec(spec)
+        assert _codes(diagnostics) == ["WF010"]
+        (item,) = diagnostics.sorted()
+        assert "64x32" in item.message and "64x16" in item.message
+        assert "clean" in item.message
+
+    def test_dtype_disagreement_is_wf011(self):
+        spec = self._spec(
+            {"table": {"shape": [64, 16], "dtype": "f64"}})
+        diagnostics = lint_workflow_spec(spec)
+        assert _codes(diagnostics) == ["WF011"]
+
+    def test_shape_mismatch_shadows_dtype_mismatch(self):
+        spec = self._spec(
+            {"table": {"shape": [8, 8], "dtype": "f64"}})
+        assert _codes(lint_workflow_spec(spec)) == ["WF010"]
+
+    def test_external_declaration_is_the_contract(self):
+        spec = self._spec({})
+        spec["tasks"][0]["types"]["raw"] = {
+            "shape": [32, 32], "dtype": "f32",
+        }
+        diagnostics = lint_workflow_spec(spec)
+        (item,) = diagnostics.sorted()
+        assert item.code == "WF010"
+        assert "externals" in item.message
+
+    def test_one_sided_declarations_are_skipped(self):
+        # consumer silent -> no contract to violate
+        assert not lint_workflow_spec(self._spec({})).items
+        # producer silent -> same
+        spec = self._spec(
+            {"table": {"shape": [1, 1], "dtype": "f64"}})
+        del spec["tasks"][0]["types"]
+        assert not lint_workflow_spec(spec).items
+
+    def test_malformed_types_sections_are_ignored(self):
+        spec = self._spec("not-a-dict")
+        spec["types"] = ["also", "wrong"]
+        assert not lint_workflow_spec(spec).items
+
+    def test_shape_mismatch_fixture_round_trips_the_cli_path(self):
+        diagnostics = lint_workflow_spec(_load("shape_mismatch.json"))
+        assert "WF010" in _codes(diagnostics)

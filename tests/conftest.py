@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.analysis.cache import configure_analysis_cache
 from repro.core.dse.cache import clear_caches, configure
 from repro.core.dsl.kernel_dsl import compile_kernel
 from repro.core.ir.module import Module
@@ -19,9 +20,11 @@ def _isolated_dse_caches(tmp_path, monkeypatch):
     monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg-cache"))
     configure(cache_dir=None)
     clear_caches()
+    configure_analysis_cache(cache_dir=None)
     yield
     configure(cache_dir=None)
     clear_caches()
+    configure_analysis_cache(cache_dir=None)
 
 GEMM_SRC = """
 kernel gemm(A: tensor<16x16xf32>, B: tensor<16x16xf32>)

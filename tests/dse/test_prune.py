@@ -1,0 +1,156 @@
+"""Static DSE-space pruning tests.
+
+The explorer rejects knob points whose explicit ``hw.partition``
+factors provably cannot serve the unrolled access pattern *before*
+pricing them. The acceptance bar: pruning must change nothing but the
+work done — a pruned exploration serializes byte-identically to an
+unpruned one, because the cost model's own static gate produces the
+exact same infeasibility verdicts.
+"""
+
+import pytest
+
+from repro.core.dse.explorer import Explorer
+from repro.core.dse.space import DesignSpace, static_conflict
+from repro.core.ir.builder import Builder
+from repro.core.ir.module import Module
+from repro.core.ir.types import F32, FunctionType, MemRefType
+from repro.core.variants import VariantKnobs
+from repro.obs import MetricsRegistry, Observation, observe
+
+
+def _partitioned_module():
+    """Kernel-form function: cyclic factor-2 buffer, 8-trip loop."""
+    module = Module("m")
+    memref = MemRefType((8,), F32)
+    function = module.add_function(
+        "k", FunctionType((memref,), ()))
+    b = Builder()
+    b.set_insertion_point(function.entry_block)
+    buffer = function.arguments[0]
+    b.create(
+        "hw.partition", operands=[buffer],
+        attributes={"scheme": "cyclic", "factor": 2},
+    )
+    loop = b.for_loop(0, 8)
+    with b.at_block(loop.body):
+        iv = loop.induction_var
+        value = b.load(buffer, [iv])
+        b.store(value, buffer, [iv])
+        b.yield_op()
+    b.ret([])
+    return module
+
+
+def _space():
+    # unroll 8 demands 2 x 8 = 16 ports; cyclic factor 2 offers 4.
+    return DesignSpace(
+        targets=("cpu", "fpga"), threads=(1,), unrolls=(1, 2, 8),
+    )
+
+
+class TestStaticConflict:
+    def test_conflict_reason_matches_the_cost_model_wording(self):
+        from repro.core.analysis.absint import function_facts
+
+        module = _partitioned_module()
+        facts = function_facts(module, "k")
+        reason = static_conflict(
+            VariantKnobs(target="fpga", unroll=8), facts)
+        assert reason is not None
+        assert reason.startswith("partition: ")
+        assert "16 ports" in reason and "provides 4" in reason
+
+    def test_no_facts_means_no_conflict(self):
+        assert static_conflict(
+            VariantKnobs(target="fpga", unroll=8), None) is None
+
+
+@pytest.mark.parametrize("strategy", ["exhaustive", "random"])
+class TestByteIdentity:
+    def test_pruned_run_serializes_identically(self, strategy):
+        module = _partitioned_module()
+        pruned = Explorer(
+            module, "k", space=_space(), prune=True,
+        )
+        result = pruned.run(strategy)
+        baseline = Explorer(
+            module, "k", space=_space(), prune=False,
+        ).run(strategy)
+        assert pruned._pruned > 0
+        assert result.to_json() == baseline.to_json()
+
+    def test_parallel_pruned_run_matches_serial(self, strategy):
+        module = _partitioned_module()
+        serial = Explorer(
+            module, "k", space=_space(), workers=1).run(strategy)
+        threaded = Explorer(
+            module, "k", space=_space(), workers=4).run(strategy)
+        assert serial.to_json() == threaded.to_json()
+
+
+class TestPrunedPoints:
+    def test_pruned_points_stay_in_the_result_as_infeasible(self):
+        module = _partitioned_module()
+        explorer = Explorer(module, "k", space=_space())
+        result = explorer.run("exhaustive")
+        rejected = [
+            v for v in result.evaluated
+            if v.cost.infeasible_reason
+            and v.cost.infeasible_reason.startswith("partition: ")
+        ]
+        assert len(rejected) == explorer._pruned == 1
+        (variant,) = rejected
+        assert variant.knobs.unroll == 8
+        assert not variant.cost.feasible
+        assert variant.cost.latency_s == float("inf")
+
+    def test_legal_points_are_never_pruned(self):
+        module = _partitioned_module()
+        space = DesignSpace(
+            targets=("cpu", "fpga"), threads=(1,), unrolls=(1, 2),
+        )
+        explorer = Explorer(module, "k", space=space)
+        result = explorer.run("exhaustive")
+        assert explorer._pruned == 0
+        assert all(
+            not (v.cost.infeasible_reason or "").startswith(
+                "partition: ")
+            for v in result.evaluated
+        )
+
+    def test_prune_counter_reaches_the_metrics_registry(self):
+        module = _partitioned_module()
+        metrics = MetricsRegistry()
+        with observe(Observation(metrics=metrics)):
+            Explorer(module, "k", space=_space()).run("exhaustive")
+        assert metrics.counter(
+            "dse.pruned_points").value(kernel="k") == 1
+
+    def test_cpu_only_model_keeps_the_no_fpga_reason(self):
+        from repro.core.dse.cost_model import ArchitectureModel
+        from repro.platform.resources import CPUDescription
+
+        module = _partitioned_module()
+        model = ArchitectureModel(
+            name="cpu-only",
+            cpu=CPUDescription(
+                name="x", cores=4, frequency_hz=2e9,
+                flops_per_cycle=4.0, tdp_watts=65.0, idle_watts=10.0,
+            ),
+        )
+        # ArchitectureModel fills fpga fields with defaults; force the
+        # CPU-only shape the compiler uses for pure-software nodes.
+        model.fpga_role_capacity = None
+        model.fpga_link = None
+        explorer = Explorer(module, "k", space=_space(), model=model)
+        result = explorer.run("exhaustive")
+        assert explorer._pruned == 0
+        fpga_points = [
+            v for v in result.evaluated if v.knobs.target == "fpga"
+        ]
+        assert fpga_points
+        assert all(
+            v.cost.infeasible_reason == "no FPGA on this node"
+            for v in fpga_points
+        )

@@ -1,0 +1,110 @@
+"""Pipeline-level contract propagation tests (WF010/WF011).
+
+``Pipeline.to_ir`` raises on the first incompatible edge;
+``lint_pipeline_contracts`` instead reports every mismatch through the
+diagnostics layer — the adapter the compiler's static gate and the
+lint CLI share.
+"""
+
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.core.dsl.workflow import Pipeline, lint_pipeline_contracts
+from repro.core.ir.types import F32, F64, TensorType
+
+RELU_8 = """
+kernel act(X: tensor<8xf32>) -> tensor<8xf32> {
+  Y = relu(X)
+  return Y
+}
+"""
+
+RELU_16 = """
+kernel wide(X: tensor<16xf32>) -> tensor<16xf32> {
+  Y = relu(X)
+  return Y
+}
+"""
+
+TWO_INPUT = """
+kernel blend(X: tensor<8xf32>, Y: tensor<8xf32>) -> tensor<8xf32> {
+  Z = X + Y
+  return Z
+}
+"""
+
+
+def _codes(diagnostics):
+    return [item.code for item in diagnostics.sorted()]
+
+
+def test_clean_pipeline_has_no_findings():
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((8,), F32))
+    task = pipeline.task("t", RELU_8, inputs=[raw], kernel="act")
+    pipeline.sink("out", task.output(0))
+    assert not lint_pipeline_contracts(pipeline).items
+
+
+def test_source_shape_mismatch_is_wf010():
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((16,), F32))
+    pipeline.task("t", RELU_8, inputs=[raw], kernel="act")
+    diagnostics = lint_pipeline_contracts(pipeline)
+    assert _codes(diagnostics) == ["WF010"]
+    (item,) = diagnostics.sorted()
+    assert "16" in item.message and "8" in item.message
+
+
+def test_source_dtype_mismatch_is_wf011():
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((8,), F64))
+    pipeline.task("t", RELU_8, inputs=[raw], kernel="act")
+    assert _codes(lint_pipeline_contracts(pipeline)) == ["WF011"]
+
+
+def test_arity_mismatch_is_wf010():
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((8,), F32))
+    pipeline.task("t", TWO_INPUT, inputs=[raw], kernel="blend")
+    diagnostics = lint_pipeline_contracts(pipeline)
+    (item,) = diagnostics.sorted()
+    assert item.code == "WF010"
+    assert "wires 1 inputs" in item.message
+
+
+def test_task_to_task_edge_is_checked():
+    # act produces tensor<8xf32>; wide consumes tensor<16xf32>
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((8,), F32))
+    first = pipeline.task("a", RELU_8, inputs=[raw], kernel="act")
+    pipeline.task(
+        "b", RELU_16, inputs=[first.output(0)], kernel="wide")
+    diagnostics = lint_pipeline_contracts(pipeline)
+    assert _codes(diagnostics) == ["WF010"]
+    (item,) = diagnostics.sorted()
+    assert "task 'b'" in item.message
+
+
+def test_every_mismatch_is_collected_not_just_the_first():
+    pipeline = Pipeline("app")
+    wrong = pipeline.source("raw", TensorType((16,), F64))
+    pipeline.task("a", RELU_8, inputs=[wrong], kernel="act")
+    pipeline.task("b", RELU_8, inputs=[wrong], kernel="act")
+    diagnostics = lint_pipeline_contracts(pipeline)
+    assert len(diagnostics.items) == 2
+
+
+def test_uncompilable_kernel_source_is_skipped():
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((8,), F32))
+    pipeline.task("t", "kernel oops(", inputs=[raw], kernel="oops")
+    # broken DSL text is DSL001's concern; no crash, no findings
+    assert not lint_pipeline_contracts(pipeline).items
+
+
+def test_precompiled_module_resolves_signatures():
+    pipeline = Pipeline("app")
+    raw = pipeline.source("raw", TensorType((16,), F32))
+    pipeline.task("t", RELU_8, inputs=[raw], kernel="act")
+    module = compile_kernel(RELU_8)
+    diagnostics = lint_pipeline_contracts(pipeline, module=module)
+    assert _codes(diagnostics) == ["WF010"]
