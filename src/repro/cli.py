@@ -13,7 +13,15 @@ Subcommands::
     python -m repro metrics  SPEC [--format text|json]
     python -m repro cache    stats|clear [--cache-dir PATH]
     python -m repro runs     list|show|gc [RUN_ID] [--journal-dir PATH]
+    python -m repro service  init|submit|status|launch|cancel [--db PATH]
     python -m repro info
+
+``service`` is the multi-tenant workflow service: a durable
+SQLite-backed job store shared by independent sessions, bulk
+submission of tagged jobs (``submit``), state queries (``status``),
+and leasing launchers (``launch``) that drain the ready queue with
+heartbeat-protected leases — a killed launcher's jobs are re-leased,
+never lost. See ``docs/SERVICE.md`` for the operator guide.
 
 ``chaos`` and ``run`` accept ``--journal-dir``/``--run-id`` to make
 the execution durable (a write-ahead journal plus periodic snapshots
@@ -791,8 +799,162 @@ def cmd_runs(args: argparse.Namespace) -> int:
         print(f"removed {len(removed)} {kinds} from {store.root}")
         for run_id in removed:
             print(f"  {run_id}")
+        if args.db:
+            from repro.workflow import JobStore
+
+            live = [row.run_id for row in store.list_runs()]
+            with JobStore(args.db) as jobs:
+                finished, orphans = jobs.gc(live_run_ids=live)
+            print(
+                f"pruned {finished} finished and {orphans} orphaned "
+                f"job row(s) from {args.db}"
+            )
         return 0
     raise SystemExit(f"unknown runs action {args.action!r}")
+
+
+def _service_specs(args: argparse.Namespace):
+    """The job batch one ``repro service submit`` describes."""
+    from repro.workflow import JobSpec
+
+    specs = []
+    for index in range(args.count):
+        if args.kind == "chaos":
+            spec = {
+                "graph_seed": args.graph_seed + index * args.seed_step,
+                "fault_seed": args.fault_seed,
+                "tasks": args.tasks,
+                "workers": args.pool,
+            }
+            if args.durable:
+                spec["durable"] = True
+        elif args.kind == "graph":
+            spec = {
+                "seed": args.graph_seed + index * args.seed_step,
+                "tasks": args.tasks,
+                "workers": args.pool,
+            }
+        else:
+            spec = {"index": index}
+        specs.append(JobSpec(
+            name=f"{args.name_prefix}{index}", kind=args.kind,
+            spec=spec, max_attempts=args.max_attempts,
+        ))
+    return specs
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    """Drive the multi-tenant workflow service (see docs/SERVICE.md)."""
+    from repro.workflow import (
+        JobStore,
+        Launcher,
+        RunStore,
+        ServiceClient,
+        default_jobstore_path,
+    )
+    from repro.workflow.jobstore import JOB_STATES, SCHEMA_VERSION
+
+    db = args.db or default_jobstore_path()
+    if args.action == "init":
+        with JobStore(db):
+            pass
+        print(f"job store ready at {db} (schema v{SCHEMA_VERSION})")
+        return 0
+    if args.action == "submit":
+        with ServiceClient(db, default_owner=args.owner) as client:
+            result = client.submit(
+                _service_specs(args), tags=tuple(args.tag),
+                ready=not args.staged,
+            )
+        state = "staged" if args.staged else "ready"
+        print(
+            f"submitted {len(result.inserted)} {state} job(s), "
+            f"{len(result.duplicates)} duplicate(s) ignored"
+        )
+        return 0
+    if args.action == "status":
+        with ServiceClient(db) as client:
+            counts = client.counts(owner=args.owner or None,
+                                   tag=args.filter_tag)
+            jobs = client.jobs(
+                state=args.state, owner=args.owner or None,
+                tag=args.filter_tag, limit=args.limit,
+            )
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(
+                {
+                    "counts": counts,
+                    "jobs": [
+                        {
+                            "id": job.id, "name": job.name,
+                            "owner": job.owner, "kind": job.kind,
+                            "state": job.state,
+                            "attempts": job.attempts,
+                            "tags": list(job.tags),
+                            "result": job.result,
+                        }
+                        for job in jobs
+                    ],
+                },
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        table = Table(
+            f"job store {db}", ["state", "jobs"],
+        )
+        for state in JOB_STATES:
+            table.add_row(state, counts[state])
+        table.show()
+        if jobs:
+            table = Table(
+                "jobs (oldest first)",
+                ["id", "name", "owner", "kind", "state", "attempts",
+                 "digest"],
+            )
+            for job in jobs:
+                digest = (job.result or {}).get("digest", "-")
+                table.add_row(job.id, job.name, job.owner or "-",
+                              job.kind, job.state, job.attempts,
+                              digest)
+            table.show()
+        return 0
+    if args.action == "launch":
+        launcher = Launcher(
+            db,
+            launcher_id=args.launcher_id,
+            lease_size=args.lease_size,
+            lease_ttl_s=args.lease_ttl,
+            heartbeat_every=args.heartbeat_every,
+            run_store=RunStore(args.journal_dir),
+        )
+        stats = launcher.run(
+            max_jobs=args.max_jobs, exit_on_idle=args.exit_on_idle,
+        )
+        print(
+            f"launcher {launcher.launcher_id}: "
+            f"{stats.completed} completed, {stats.failed} failed, "
+            f"{stats.cancelled} cancelled over {stats.leases} "
+            f"lease(s)"
+        )
+        return 1 if stats.failed else 0
+    if args.action == "cancel":
+        if not (args.job or args.owner or args.filter_tag):
+            raise SystemExit(
+                "repro service cancel needs --job, --owner or --tag"
+            )
+        with ServiceClient(db) as client:
+            cancelled, requested = client.cancel(
+                args.job, owner=args.owner or None,
+                tag=args.filter_tag,
+            )
+        print(
+            f"cancelled {cancelled} queued job(s); requested "
+            f"cancellation of {requested} running job(s)"
+        )
+        return 0
+    raise SystemExit(f"unknown service action {args.action!r}")
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
@@ -1092,7 +1254,181 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true",
         help="gc: also remove in-flight (crashed, resumable) runs",
     )
+    p_runs.add_argument(
+        "--db", metavar="PATH", default=None,
+        help="gc: also prune the service job store at PATH — finished "
+             "rows plus jobs bound to runs the gc removed",
+    )
     p_runs.set_defaults(func=cmd_runs)
+
+    p_service = sub.add_parser(
+        "service",
+        help="multi-tenant workflow service: durable job store, bulk "
+             "submission, leasing launchers (docs/SERVICE.md)",
+    )
+    service_sub = p_service.add_subparsers(dest="action",
+                                           required=True)
+
+    def add_db_flag(action_parser: argparse.ArgumentParser) -> None:
+        action_parser.add_argument(
+            "--db", metavar="PATH", default=None,
+            help="job-store database (default: "
+                 "~/.local/state/repro-service/jobs.db, XDG aware)",
+        )
+
+    s_init = service_sub.add_parser(
+        "init", help="create (or open) the shared job store",
+    )
+    add_db_flag(s_init)
+    s_init.set_defaults(func=cmd_service)
+
+    s_submit = service_sub.add_parser(
+        "submit", help="bulk-submit a batch of tagged jobs",
+    )
+    add_db_flag(s_submit)
+    s_submit.add_argument(
+        "--count", type=int, default=1, metavar="N",
+        help="number of jobs in the batch (default: 1)",
+    )
+    s_submit.add_argument(
+        "--kind", default="chaos",
+        choices=("noop", "graph", "chaos"),
+        help="job payload: noop (marker), graph (seeded task graph), "
+             "chaos (seeded fault-injection run; default)",
+    )
+    s_submit.add_argument(
+        "--name-prefix", default="job-", metavar="PFX",
+        help="job names are PFX0..PFX<count-1> (default: job-)",
+    )
+    s_submit.add_argument(
+        "--graph-seed", type=int, default=0, metavar="N",
+        help="base graph seed; job i uses N + i*seed-step "
+             "(default: 0)",
+    )
+    s_submit.add_argument(
+        "--seed-step", type=int, default=1, metavar="N",
+        help="per-job graph-seed increment (default: 1)",
+    )
+    s_submit.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="chaos jobs: fault schedule seed (default: 0)",
+    )
+    s_submit.add_argument(
+        "--tasks", type=int, default=9, metavar="N",
+        help="tasks per generated graph (default: 9)",
+    )
+    s_submit.add_argument(
+        "--pool", type=int, default=3, metavar="N",
+        help="simulated workers per job execution (default: 3)",
+    )
+    s_submit.add_argument(
+        "--owner", default="", metavar="NAME",
+        help="tenant the jobs belong to (default: anonymous)",
+    )
+    s_submit.add_argument(
+        "--tag", action="append", default=[], metavar="TAG",
+        help="tag every job in the batch (repeatable)",
+    )
+    s_submit.add_argument(
+        "--staged", action="store_true",
+        help="insert as staged (not leasable) instead of ready",
+    )
+    s_submit.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="executions before a job is declared failed "
+             "(default: 3)",
+    )
+    s_submit.add_argument(
+        "--durable", action="store_true",
+        help="chaos jobs: write-ahead journal each execution in the "
+             "run store so a killed launcher's job resumes "
+             "byte-identically",
+    )
+    s_submit.set_defaults(func=cmd_service)
+
+    s_status = service_sub.add_parser(
+        "status", help="per-state counts and a job listing",
+    )
+    add_db_flag(s_status)
+    s_status.add_argument(
+        "--owner", default="", metavar="NAME",
+        help="only this tenant's jobs",
+    )
+    s_status.add_argument(
+        "--tag", dest="filter_tag", default=None, metavar="TAG",
+        help="only jobs carrying this tag",
+    )
+    s_status.add_argument(
+        "--state", default=None, metavar="STATE",
+        help="only jobs in this state (staged/ready/running/done/"
+             "failed/cancelled)",
+    )
+    s_status.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="job rows to list (default: 20)",
+    )
+    s_status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable counts + jobs instead of tables",
+    )
+    s_status.set_defaults(func=cmd_service)
+
+    s_launch = service_sub.add_parser(
+        "launch",
+        help="run a launcher: lease ready jobs in batches and "
+             "execute them until the store drains",
+    )
+    add_db_flag(s_launch)
+    s_launch.add_argument(
+        "--launcher-id", default=None, metavar="ID",
+        help="stable launcher name (default: generated)",
+    )
+    s_launch.add_argument(
+        "--lease-size", type=int, default=8, metavar="N",
+        help="jobs claimed per lease (default: 8)",
+    )
+    s_launch.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="S",
+        help="seconds without a heartbeat before this launcher's "
+             "jobs are re-leased (default: 60)",
+    )
+    s_launch.add_argument(
+        "--heartbeat-every", type=int, default=4, metavar="N",
+        help="jobs executed between lease heartbeats (default: 4)",
+    )
+    s_launch.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after executing N jobs (default: drain)",
+    )
+    s_launch.add_argument(
+        "--exit-on-idle", action="store_true",
+        help="exit at the first empty lease instead of polling for "
+             "other launchers' jobs to expire back",
+    )
+    s_launch.add_argument(
+        "--journal-dir", metavar="PATH", default=None,
+        help="run-store root for durable job journals (default: "
+             "~/.local/state/repro-runs, XDG aware)",
+    )
+    s_launch.set_defaults(func=cmd_service)
+
+    s_cancel = service_sub.add_parser(
+        "cancel", help="cancel jobs by id, owner or tag",
+    )
+    add_db_flag(s_cancel)
+    s_cancel.add_argument(
+        "--job", action="append", type=int, default=[],
+        metavar="ID", help="cancel this job id (repeatable)",
+    )
+    s_cancel.add_argument(
+        "--owner", default="", metavar="NAME",
+        help="cancel every queued job of this tenant",
+    )
+    s_cancel.add_argument(
+        "--tag", dest="filter_tag", default=None, metavar="TAG",
+        help="cancel every queued job carrying this tag",
+    )
+    s_cancel.set_defaults(func=cmd_service)
 
     p_info = sub.add_parser("info", help="SDK inventory")
     p_info.set_defaults(func=cmd_info)

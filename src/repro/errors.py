@@ -119,3 +119,15 @@ class JournalError(WorkflowError):
     """
 
     code: str = ""
+
+
+class JobStoreError(WorkflowError):
+    """The multi-tenant job store rejected a request.
+
+    Raised for illegal state-machine transitions (JOB002), unknown
+    jobs (JOB001), stale lease completions (JOB003) and schema
+    version skew (JOB004). The ``code`` attribute carries the stable
+    code.
+    """
+
+    code: str = ""

@@ -39,6 +39,16 @@ from repro.workflow.journal import (
 )
 from repro.workflow.replay import PayloadSkipper, ReplayState
 from repro.workflow.runstore import RunInfo, RunStore, default_runs_dir
+from repro.workflow.jobstore import (
+    JobRecord,
+    JobSpec,
+    JobStore,
+    Lease,
+    SubmitResult,
+    default_jobstore_path,
+)
+from repro.workflow.client import ServiceClient
+from repro.workflow.launcher import Launcher, LauncherStats
 
 __all__ = [
     "TaskGraph",
@@ -68,4 +78,13 @@ __all__ = [
     "replay_journal",
     "rollback_journal",
     "default_runs_dir",
+    "JobStore",
+    "JobSpec",
+    "JobRecord",
+    "Lease",
+    "SubmitResult",
+    "ServiceClient",
+    "Launcher",
+    "LauncherStats",
+    "default_jobstore_path",
 ]

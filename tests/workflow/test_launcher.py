@@ -1,0 +1,296 @@
+"""Launcher contention and crash recovery — the service acceptance bar.
+
+The two headline guarantees of the multi-tenant split, as tests:
+
+* **zero double-executions** — two launchers draining one store
+  complete a 1k-job workload with every job executed exactly once
+  (the lease transaction is the only arbiter);
+* **zero lost jobs** — a launcher killed mid-lease merely times out;
+  its unfinished jobs are re-leased and completed by a survivor, and
+  a durable chaos job interrupted mid-journal *resumes* on the second
+  launcher with a trace digest byte-identical to the unbroken run
+  (the PR 6 contract carried through the service layer).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import observe, session
+from repro.workflow.jobstore import JobSpec, JobStore
+from repro.workflow.journal import JOURNAL_FILE
+from repro.workflow.launcher import SERVICE_RUN_KIND, Launcher
+from repro.workflow.runstore import RunStore
+
+from tests.workflow.test_jobstore import FakeClock
+
+
+CHAOS_SPEC = {
+    "graph_seed": 2, "fault_seed": 1, "tasks": 9, "workers": 3,
+}
+
+
+def submit_noops(db_path, count, **kwargs):
+    with JobStore(db_path) as store:
+        return store.submit(
+            [JobSpec(name=f"noop-{i}", spec={"i": i})
+             for i in range(count)],
+            **kwargs,
+        )
+
+
+def truncate(journal_path, keep_lines: int):
+    """Crash simulation: keep only a prefix of the journal."""
+    lines = journal_path.read_bytes().splitlines(keepends=True)
+    journal_path.write_bytes(b"".join(lines[:keep_lines]))
+
+
+class TestSingleLauncher:
+    def test_drains_noop_jobs(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        submit_noops(db, 10)
+        stats = Launcher(db, lease_size=4).run()
+        assert stats.completed == 10
+        assert stats.failed == 0
+        assert stats.leases == 3
+        with JobStore(db) as store:
+            assert store.drained()
+            for job in store.list_jobs(state="done"):
+                assert job.result["digest"]
+
+    def test_executes_graph_and_chaos_kinds(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            store.submit([
+                JobSpec(name="g", kind="graph",
+                        spec={"seed": 3, "tasks": 6, "workers": 2}),
+                JobSpec(name="c", kind="chaos", spec=CHAOS_SPEC),
+            ])
+        stats = Launcher(db).run()
+        assert stats.completed == 2
+        with JobStore(db) as store:
+            for job in store.list_jobs(state="done"):
+                assert len(job.result["digest"]) == 16
+                assert job.result["makespan"] > 0
+
+    def test_chaos_kind_is_seed_deterministic(self, tmp_path):
+        digests = []
+        for attempt in range(2):
+            db = tmp_path / f"jobs-{attempt}.db"
+            with JobStore(db) as store:
+                store.submit([JobSpec(name="c", kind="chaos",
+                                      spec=CHAOS_SPEC)])
+            Launcher(db).run()
+            with JobStore(db) as store:
+                job = store.list_jobs(state="done")[0]
+                digests.append(job.result["digest"])
+        assert digests[0] == digests[1]
+
+    def test_unknown_kind_fails_with_recorded_error(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            store.submit([JobSpec(name="bad", kind="quantum",
+                                  spec={}, max_attempts=2)])
+        stats = Launcher(db).run()
+        assert stats.completed == 0
+        assert stats.failed == 2  # retried once, then exhausted
+        with JobStore(db) as store:
+            job = store.list_jobs(state="failed")[0]
+            assert "unknown job kind" in job.result["error"]
+            assert job.attempts == 2
+
+    def test_max_jobs_stops_early(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        submit_noops(db, 10)
+        stats = Launcher(db, lease_size=4).run(max_jobs=5)
+        assert stats.executed == 5
+        with JobStore(db) as store:
+            counts = store.counts()
+            assert counts["done"] == 5
+            # the rest of the open lease is still held
+            assert counts["running"] + counts["ready"] == 5
+
+    def test_cancelled_jobs_are_skipped(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        ids = submit_noops(db, 6).inserted
+        with JobStore(db) as store:
+            store.cancel(ids[:2])
+        stats = Launcher(db).run()
+        assert stats.completed == 4
+        with JobStore(db) as store:
+            assert store.counts()["cancelled"] == 2
+
+    def test_emits_service_metrics(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with observe(session()):
+            from repro.obs import current_metrics
+
+            submit_noops(db, 6)
+            Launcher(db, launcher_id="l0", lease_size=3).run()
+            metrics = current_metrics()
+            assert metrics.counter(
+                "service.jobs_submitted").total() == 6
+            assert metrics.counter(
+                "service.jobs_leased").total() == 6
+            assert metrics.counter(
+                "service.jobs_completed").total() == 6
+            assert metrics.histogram(
+                "service.lease_seconds").count(launcher="l0") >= 2
+            assert metrics.histogram(
+                "service.job_seconds").count(kind="noop") == 6
+
+
+class TestContention:
+    def test_two_launchers_1k_jobs_zero_double_executions(
+            self, tmp_path):
+        db = tmp_path / "jobs.db"
+        submit_noops(db, 1000)
+        launchers = [
+            Launcher(db, launcher_id=f"l{i}", lease_size=16)
+            for i in range(2)
+        ]
+        stats = [None, None]
+
+        def drain(index):
+            stats[index] = launchers[index].run()
+
+        threads = [
+            threading.Thread(target=drain, args=(i,))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        executed = stats[0].job_ids + stats[1].job_ids
+        assert len(executed) == 1000, "every job executed"
+        assert len(set(executed)) == 1000, "no job executed twice"
+        # both launchers actually participated
+        assert stats[0].completed > 0 and stats[1].completed > 0
+        with JobStore(db) as store:
+            assert store.drained()
+            assert store.counts()["done"] == 1000
+
+
+class TestCrashRecovery:
+    def test_killed_launcher_loses_no_jobs(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        clock = FakeClock()
+        with JobStore(db, clock=clock) as store:
+            store.submit([
+                JobSpec(name=f"n{i}", spec={"i": i})
+                for i in range(12)
+            ])
+        # launcher 1 dies after 5 jobs, mid-lease, without ever
+        # reporting back — exactly what SIGKILL looks like
+        dead = Launcher(db, launcher_id="dead", lease_size=8,
+                        lease_ttl_s=30.0, clock=clock)
+        stats = dead.run(crash_after=5)
+        assert stats.crashed and stats.completed == 5
+        with JobStore(db, clock=clock) as store:
+            assert store.counts()["running"] == 3  # still leased
+
+        clock.advance(31)  # the dead launcher's lease expires
+        alive = Launcher(db, launcher_id="alive", lease_size=8,
+                         clock=clock)
+        stats2 = alive.run()
+        assert not stats2.crashed
+        with JobStore(db, clock=clock) as store:
+            counts = store.counts()
+            assert counts["done"] == 12, "no job was lost"
+            assert counts["failed"] == 0
+        # the two launchers together executed each job exactly once
+        executed = stats.job_ids + stats2.job_ids
+        assert len(set(executed)) == len(executed) == 12
+
+    def test_durable_chaos_resumes_byte_identical(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        runs = tmp_path / "runs"
+        clock = FakeClock()
+        spec = {**CHAOS_SPEC, "durable": True}
+        with JobStore(db, clock=clock) as store:
+            job_id = store.submit(
+                [JobSpec(name="durable", kind="chaos", spec=spec)]
+            ).inserted[0]
+
+            # launcher 1 leases the job, journals and executes it —
+            # then "crashes" before reporting: the result is
+            # discarded and the lease left hanging
+            dead = Launcher(db, launcher_id="dead",
+                            run_store=RunStore(runs), clock=clock)
+            lease = store.lease("dead", 1, ttl_s=30.0)
+            result = dead.execute_job(lease.jobs[0], store)
+            expected = result["digest"]
+
+            # the crash also tore the journal: only the first third
+            # of the run survives on disk
+            journal = runs / f"job-{job_id}" / JOURNAL_FILE
+            total = len(journal.read_bytes().splitlines())
+            truncate(journal, total // 3)
+
+            clock.advance(31)
+
+        alive = Launcher(db, launcher_id="alive",
+                         run_store=RunStore(runs), clock=clock)
+        stats = alive.run()
+        assert stats.completed == 1
+        with JobStore(db, clock=clock) as store:
+            job = store.job(job_id)
+            assert job.state == "done"
+            assert job.result["digest"] == expected, (
+                "resumed digest must match the unbroken run"
+            )
+            assert job.result["resumed"] is True
+            assert job.run_id == f"job-{job_id}"
+        meta = RunStore(runs).load_meta(f"job-{job_id}")
+        assert meta["kind"] == SERVICE_RUN_KIND
+        assert meta["attempts"] == 2
+
+    def test_finished_journal_short_circuits_reexecution(
+            self, tmp_path):
+        db = tmp_path / "jobs.db"
+        runs = tmp_path / "runs"
+        clock = FakeClock()
+        spec = {**CHAOS_SPEC, "durable": True}
+        with JobStore(db, clock=clock) as store:
+            job_id = store.submit(
+                [JobSpec(name="durable", kind="chaos", spec=spec)]
+            ).inserted[0]
+            # crash *after* the journal is complete but before the
+            # store heard about it: the resume replays to the end
+            # and returns without executing anything
+            dead = Launcher(db, launcher_id="dead",
+                            run_store=RunStore(runs), clock=clock)
+            lease = store.lease("dead", 1, ttl_s=30.0)
+            expected = dead.execute_job(lease.jobs[0],
+                                        store)["digest"]
+            clock.advance(31)
+
+        alive = Launcher(db, launcher_id="alive",
+                         run_store=RunStore(runs), clock=clock)
+        assert alive.run().completed == 1
+        with JobStore(db, clock=clock) as store:
+            job = store.job(job_id)
+            assert job.result["digest"] == expected
+            assert job.result["resumed"] is True
+
+    def test_nondurable_chaos_survives_relaunch_by_rerun(
+            self, tmp_path):
+        # without `durable` the job has no journal; recovery is a
+        # plain re-execution, deterministic because the spec seeds it
+        db = tmp_path / "jobs.db"
+        clock = FakeClock()
+        with JobStore(db, clock=clock) as store:
+            store.submit([JobSpec(name="c", kind="chaos",
+                                  spec=CHAOS_SPEC)])
+            store.lease("dead", 1, ttl_s=30.0)  # claimed, never run
+            clock.advance(31)
+        stats = Launcher(db, launcher_id="alive", clock=clock).run()
+        assert stats.completed == 1
+        with JobStore(db, clock=clock) as store:
+            job = store.list_jobs(state="done")[0]
+            assert job.attempts == 2
+            assert "resumed" not in job.result
