@@ -5,6 +5,7 @@ Subcommands::
     python -m repro compile  KERNELS.edsl [--strategy ...] [--workers N]
     python -m repro synth    KERNELS.edsl --kernel NAME [--unroll N]
     python -m repro explore  KERNELS.edsl --kernel NAME [--workers N]
+    python -m repro perf     KERNELS.edsl --kernel NAME [--format json]
     python -m repro emit     KERNELS.edsl --kernel NAME --what sycl|rtl|ir
     python -m repro lint     SPEC [--incremental] [--stats] [--workers N]
     python -m repro chaos    --graph-seed N --fault-seed M [--verify-replay]
@@ -163,7 +164,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
     module = compile_kernel(source)
     space = _space_by_name(args.space)
     explorer = Explorer(module, args.kernel, space,
-                        workers=args.workers)
+                        workers=args.workers,
+                        bound_guided=getattr(args, "bound_guided",
+                                             False))
     before = cost_cache().stats.snapshot()
     result = explorer.run(args.strategy)
     table = Table(
@@ -187,6 +190,103 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"cost cache: {delta.hits}/{delta.lookups} hits "
             f"({100.0 * delta.hits / delta.lookups:.0f}%)"
         )
+    if getattr(args, "bound_guided", False):
+        print(
+            f"bound-guided: skipped {explorer._bound_pruned} points "
+            f"proved off-front by their analytic lower bound"
+        )
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Static performance report (analytic bounds) for one kernel."""
+    import json as json_module
+
+    from repro.core.analysis.cache import (
+        configure_analysis_cache,
+        default_analysis_cache_dir,
+    )
+    from repro.core.analysis.perf import kernel_bounds
+
+    # Bounds persist in the same store ``repro lint --incremental``
+    # uses, so a warm report (or a later bound-guided exploration of
+    # the unchanged kernel) skips the derivation entirely.
+    if getattr(args, "no_cache", False):
+        configure_analysis_cache(cache_dir=None)
+    else:
+        configure_analysis_cache(
+            cache_dir=getattr(args, "cache_dir", None)
+            or default_analysis_cache_dir()
+        )
+    source = _read_source(args.file)
+    module = compile_kernel(source)
+    bounds = kernel_bounds(module, args.kernel)
+    if bounds is None:
+        raise SystemExit(
+            f"no kernel named {args.kernel!r} in {args.file}"
+        )
+    if args.format == "json":
+        print(json_module.dumps(
+            bounds.to_payload(), indent=2, sort_keys=True,
+        ))
+        return 0
+
+    ports = {
+        info.buffer: info.ports("auto", 1) for info in bounds.buffers
+    }
+    cycle_floor = 0
+    nest_rows = []
+    for nest in bounds.nests:
+        if nest.trip <= 0:
+            continue
+        ii = nest.min_ii(1, ports)
+        cycles = nest.outer_iters * (1 + (nest.trip - 1) * ii)
+        cycle_floor += cycles
+        ops = sum(nest.ops.values()) * nest.total_iters
+        nest_rows.append((
+            nest.anchor, nest.depth, nest.trip, nest.outer_iters,
+            ii, nest.chain_latency, ops, cycles,
+        ))
+
+    summary = Table(
+        f"static bounds for {args.kernel!r}",
+        ["property", "value"],
+    )
+    summary.add_row("verdict", f"{bounds.verdict} ({bounds.binding})")
+    summary.add_row("work (flops est.)", bounds.work)
+    summary.add_row("tensor data bytes", bounds.data_bytes)
+    summary.add_row("streamed arg bytes", bounds.arg_bytes)
+    summary.add_row("cycle floor @ defaults", cycle_floor)
+    for op_class in sorted(bounds.op_counts):
+        summary.add_row(
+            f"ops[{op_class}]", bounds.op_counts[op_class]
+        )
+    summary.show()
+
+    nests = Table(
+        "loop-nest bounds (unroll 1)",
+        ["nest", "depth", "trip", "outer iters", "II floor",
+         "rec chain", "ops", "cycle floor"],
+    )
+    for row in nest_rows:
+        nests.add_row(*row)
+    nests.show()
+
+    traffic = Table(
+        "buffer traffic per invocation",
+        ["buffer", "access sites", "bytes naive", "bytes moved",
+         "reuse credit"],
+    )
+    for record in bounds.traffic:
+        saved = record.bytes_naive - record.bytes_moved
+        ratio = (
+            saved / record.bytes_naive if record.bytes_naive else 0.0
+        )
+        traffic.add_row(
+            record.buffer, record.accesses, record.bytes_naive,
+            record.bytes_moved, f"{ratio:.0%}",
+        )
+    traffic.show()
     return 0
 
 
@@ -729,6 +829,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
         table.add_row("directory", str(analysis_dir))
         table.add_row("entries", analysis_store.entry_count())
         table.add_row("disk bytes", analysis_store.disk_bytes())
+        breakdown = analysis_store.breakdown()
+        for kind in sorted(breakdown):
+            row = breakdown[kind]
+            table.add_row(f"{kind} entries", row["entries"])
+            table.add_row(f"{kind} disk bytes", row["disk_bytes"])
         table.show()
         return 0
     if args.action == "clear":
@@ -1047,9 +1152,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--kernel", required=True)
     p_explore.add_argument("--space", default="small")
     p_explore.add_argument("--strategy", default="exhaustive")
+    p_explore.add_argument(
+        "--bound-guided", action="store_true",
+        help="order points by their analytic lower bound and skip "
+             "points the bound proves off-front (exhaustive strategy "
+             "only; identical front, fewer pricings)",
+    )
     add_workers_flag(p_explore)
     add_cache_flags(p_explore)
     p_explore.set_defaults(func=cmd_explore)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="static performance report for one kernel: analytic "
+             "work/traffic/II lower bounds and the roofline verdict",
+    )
+    p_perf.add_argument("file")
+    p_perf.add_argument("--kernel", required=True)
+    p_perf.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="report rendering (default: text)",
+    )
+    p_perf.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent analysis-cache directory (default: "
+             "~/.cache/repro-analysis, XDG aware)",
+    )
+    p_perf.add_argument(
+        "--no-cache", action="store_true",
+        help="keep the bounds cache in memory only for this run",
+    )
+    p_perf.set_defaults(func=cmd_perf)
 
     p_emit = sub.add_parser(
         "emit", help="print IR / SYCL / RTL for one kernel"
@@ -1084,8 +1217,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "--only", action="append", default=[], metavar="CHECK",
         help="restrict checks to a comma-separated subset of "
-             "taint/partition/lint/absint/shapes (IR) and wf/race/dl "
-             "(workflow specs); repeatable, case-insensitive",
+             "taint/partition/lint/absint/shapes/perf (IR) and "
+             "wf/race/dl (workflow specs); repeatable, "
+             "case-insensitive",
     )
     p_lint.add_argument(
         "--incremental", action="store_true",

@@ -12,6 +12,10 @@ them:
   non-affine indices (MEM004), statically-dead constructs (LINT004)
   and interprocedural shape/dtype contracts (WF010/WF011), exposed as
   a reusable :class:`~repro.core.analysis.absint.AnalysisFacts`;
+* :mod:`.perf` — static performance analysis: analytic work/traffic/II
+  lower bounds (:class:`~repro.core.analysis.perf.StaticBounds`),
+  PERF001-PERF005 diagnostics and the bound oracle the DSE explorer
+  uses for bound-guided pruning;
 * :mod:`.lints` — dead values, unreachable blocks, unused functions;
 * :mod:`.wfcheck` — workflow-DAG structural linting;
 * :mod:`.concurrency` — static race (RACE001-004) and deadlock
@@ -73,6 +77,13 @@ from repro.core.analysis.concurrency import (
 )
 from repro.core.analysis.lints import check_module_lints
 from repro.core.analysis.partition import check_module_partitioning
+from repro.core.analysis.perf import (
+    StaticBounds,
+    bound_for,
+    check_module_perf,
+    compute_kernel_bounds,
+    kernel_bounds,
+)
 from repro.core.analysis.taint import (
     check_function_taint,
     check_module_taint,
@@ -87,7 +98,7 @@ from repro.core.analysis.wfcheck import (
 )
 
 #: Names accepted by ``analyze_module(checks=...)`` / ``--only``.
-ALL_CHECKS = ("taint", "partition", "lint", "absint", "shapes")
+ALL_CHECKS = ("taint", "partition", "lint", "absint", "shapes", "perf")
 
 #: Tracer category for per-analysis-pass spans.
 ANALYSIS_CATEGORY = "analysis.pass"
@@ -119,7 +130,7 @@ def analyze_module(
             f"expected a subset of {list(ALL_CHECKS)}"
         )
     tracer = current_tracer()
-    if facts is None and selected & {"partition", "absint"}:
+    if facts is None and selected & {"partition", "absint", "perf"}:
         with tracer.span("analysis:facts", category=ANALYSIS_CATEGORY):
             facts = compute_facts(module)
     if "taint" in selected:
@@ -138,6 +149,9 @@ def analyze_module(
     if "shapes" in selected:
         with tracer.span("analysis:shapes", category=ANALYSIS_CATEGORY):
             check_module_contracts(module, diagnostics)
+    if "perf" in selected:
+        with tracer.span("analysis:perf", category=ANALYSIS_CATEGORY):
+            check_module_perf(module, diagnostics, facts=facts)
     return diagnostics
 
 
@@ -226,14 +240,19 @@ __all__ = [
     "Liveness",
     "SetLattice",
     "Severity",
+    "StaticBounds",
     "TaintPropagation",
     "TaskSpec",
     "WorkerSpec",
     "analyze_module",
+    "bound_for",
     "check_function_taint",
     "check_module_lints",
     "check_module_partitioning",
+    "check_module_perf",
     "check_module_taint",
+    "compute_kernel_bounds",
+    "kernel_bounds",
     "check_pipeline_taint",
     "lint_task_graph",
     "lint_workflow",

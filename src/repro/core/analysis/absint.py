@@ -63,7 +63,7 @@ from repro.core.ir.types import MemRefType, ScalarType, TensorType
 
 #: Bump whenever any analysis result can change for the same module —
 #: cache entries keyed with an older version are ignored.
-ANALYSIS_VERSION = "1"
+ANALYSIS_VERSION = "2"
 
 _INF = float("inf")
 
@@ -248,17 +248,53 @@ class DimRange:
 
 @dataclass
 class AccessFacts:
-    """One load/store with inferred per-dimension value ranges."""
+    """One load/store with inferred per-dimension value ranges.
+
+    Beyond the range information the out-of-bounds check consumes,
+    each access carries its *loop-dependence context* for the static
+    performance analyzer: the trip counts of every enclosing loop
+    (outermost first), a parallel mask of which of those loops the
+    access indices actually depend on, and the element width.  A
+    ``False`` in the suffix of ``depends_on`` is a proof that the
+    access is invariant in that (inner) loop — a hoisting / reuse
+    opportunity the traffic model credits.
+    """
 
     anchor: str
     kind: str  # "load" | "store"
     buffer: str
     dims: List[DimRange] = field(default_factory=list)
+    #: trip counts of the enclosing kernel.for loops, outermost first.
+    enclosing_trips: List[int] = field(default_factory=list)
+    #: aligned with enclosing_trips: does any index depend on the
+    #: induction variable of that loop?
+    depends_on: List[bool] = field(default_factory=list)
+    #: bit width of one buffer element (f32 -> 32).
+    element_bits: int = 32
+
+    @property
+    def reuse_factor(self) -> int:
+        """Product of trips of the maximal invariant loop *suffix*.
+
+        A load invariant in the innermost ``k`` consecutive loops can
+        be issued once per surrounding iteration instead of once per
+        innermost iteration: its traffic shrinks by this factor.
+        """
+        factor = 1
+        for trip, depends in zip(reversed(self.enclosing_trips),
+                                 reversed(self.depends_on)):
+            if depends:
+                break
+            factor *= max(1, trip)
+        return factor
 
     def to_payload(self) -> Dict[str, Any]:
         return {"anchor": self.anchor, "kind": self.kind,
                 "buffer": self.buffer,
-                "dims": [dim.to_payload() for dim in self.dims]}
+                "dims": [dim.to_payload() for dim in self.dims],
+                "enclosing_trips": list(self.enclosing_trips),
+                "depends_on": list(self.depends_on),
+                "element_bits": self.element_bits}
 
     @staticmethod
     def from_payload(payload: Dict[str, Any]) -> "AccessFacts":
@@ -266,6 +302,10 @@ class AccessFacts:
             anchor=str(payload["anchor"]), kind=str(payload["kind"]),
             buffer=str(payload["buffer"]),
             dims=[DimRange.from_payload(d) for d in payload["dims"]],
+            enclosing_trips=[int(t) for t in
+                             payload.get("enclosing_trips", [])],
+            depends_on=[bool(d) for d in payload.get("depends_on", [])],
+            element_bits=int(payload.get("element_bits", 32)),
         )
 
 
@@ -420,6 +460,8 @@ class _FunctionInterpreter:
         self.function = function
         self.env: Dict[int, Interval] = {}
         self.loop_of_var: Dict[int, LoopFacts] = {}
+        #: enclosing (loop, induction-variable-id) pairs, outer first.
+        self._loop_stack: List[Tuple[LoopFacts, int]] = []
         self._access_ops: List[Tuple[Operation, Value, FrozenSet[int]]] = []
         self.facts = FunctionFacts(
             name=function.name,
@@ -502,13 +544,19 @@ class _FunctionInterpreter:
             ))
             return
         if body is not None:
+            iv_id = -1
             if body.arguments:
                 iv = body.arguments[0]
-                self.loop_of_var[id(iv)] = loop
-                self.env[id(iv)] = Interval(
-                    lower, loop.last, frozenset({id(iv)}), True,
+                iv_id = id(iv)
+                self.loop_of_var[iv_id] = loop
+                self.env[iv_id] = Interval(
+                    lower, loop.last, frozenset({iv_id}), True,
                 )
-            self._eval_block(body, depth + 1)
+            self._loop_stack.append((loop, iv_id))
+            try:
+                self._eval_block(body, depth + 1)
+            finally:
+                self._loop_stack.pop()
 
     def _eval_const(self, op: Operation) -> None:
         raw = op.attr("value")
@@ -606,6 +654,9 @@ class _FunctionInterpreter:
         access = AccessFacts(
             anchor=self.anchor(op), kind=kind,
             buffer=buffer.name, dims=dims,
+            enclosing_trips=[loop.trip for loop, _ in self._loop_stack],
+            depends_on=[iv_id in used for _, iv_id in self._loop_stack],
+            element_bits=int(memref.element.bit_width),
         )
         self.facts.accesses.append(access)
         self.facts.op_vars[id(op)] = used

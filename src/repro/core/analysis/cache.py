@@ -91,6 +91,12 @@ class AnalysisCache:
             digest, ",".join(sorted(checks)),
         ))
 
+    @staticmethod
+    def perf_key(module_digest: str, kernel: str) -> str:
+        """Key for one kernel's static performance bounds
+        (:func:`repro.core.analysis.perf.kernel_bounds`)."""
+        return AnalysisCache._key("perf", (module_digest, kernel))
+
     # -- lookup / store ------------------------------------------------
 
     def _path_for(self, key: str) -> Path:
@@ -169,6 +175,40 @@ class AnalysisCache:
     def disk_bytes(self) -> int:
         """Total size of the on-disk entries."""
         return sum(path.stat().st_size for path in self._disk_files())
+
+    def breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Entries/bytes per payload kind ("analysis" vs "perf").
+
+        Payloads may carry a ``"kind"`` marker (the perf analyzer
+        stores ``"perf"``); unmarked payloads are the classic analysis
+        entries. Disk bytes are only known for on-disk entries; the
+        union semantics match :meth:`entry_count`.
+        """
+        kinds: Dict[str, Dict[str, int]] = {}
+
+        def record(kind: str, size: int) -> None:
+            row = kinds.setdefault(
+                kind, {"entries": 0, "disk_bytes": 0})
+            row["entries"] += 1
+            row["disk_bytes"] += size
+
+        seen = set()
+        for path in self._disk_files():
+            try:
+                entry = json.loads(path.read_text())
+                payload = entry.get("payload", {})
+                size = path.stat().st_size
+            except (OSError, ValueError):
+                continue
+            seen.add(path.stem)
+            record(str(payload.get("kind", "analysis")), size)
+        with self._lock:
+            memory = dict(self._memory)
+        for key, payload in memory.items():
+            if key in seen:
+                continue
+            record(str(payload.get("kind", "analysis")), 0)
+        return kinds
 
     def clear(self) -> int:
         """Drop every entry (memory and disk); returns entries removed."""

@@ -80,6 +80,12 @@ CODES: Dict[str, str] = {
     "PM002": "analysis found errors after a pass",
     # design-space exploration
     "DSE001": "no feasible variants for the kernel",
+    # static performance analysis
+    "PERF001": "unroll factor provably exceeds memory port capacity",
+    "PERF002": "loop-invariant load can be hoisted to a register",
+    "PERF003": "non-affine access defeats burst inference",
+    "PERF004": "kernel is memory-bound at default knobs (roofline)",
+    "PERF005": "pipeline II target is provably unattainable",
     # static concurrency: data races
     "RACE001": "unordered tasks both write the same data object",
     "RACE002": "task reads an object an unordered task writes",

@@ -1,0 +1,831 @@
+"""Static performance analysis: analytic work/traffic/II lower bounds.
+
+The DSE layer discovers performance facts by *pricing* knob points
+through the cost model — pass pipeline, scheduling, memory planning
+per point. Most of what pricing learns is already determined by the
+loop structure the abstract interpreter (:mod:`.absint`) extracts:
+trip counts, access patterns, loop-carried recurrences. This module
+derives it once, analytically, as a :class:`StaticBounds` record per
+kernel:
+
+* **work** — total operation counts by resource class, per loop nest
+  and whole-function (plus the tensor-level FLOP estimate the CPU
+  model prices);
+* **traffic** — bytes moved per buffer, with *reuse credit* for loads
+  provably invariant in their inner loops (they can be hoisted into
+  registers and issued once per surrounding iteration);
+* **II floor** — an achievable initiation-interval lower bound per
+  innermost loop from memory-port pressure and the loop-carried
+  accumulation chain;
+* **roofline verdict** — compute-bound vs memory-bound at default
+  knobs, naming the binding resource.
+
+Three consumers:
+
+1. :func:`check_module_perf` — PERF001-PERF005 diagnostics for
+   ``repro lint`` (kernel-form functions only; tensor-form kernels
+   have not chosen knobs yet, so their performance is a DSE concern);
+2. ``repro perf`` — the CLI report (per-loop-nest bound table);
+3. :func:`bound_for` — a per-knob-point ``(latency, energy)`` lower
+   bound the explorer uses to order candidates and skip points whose
+   bound is already dominated by the incumbent front
+   (``Explorer(bound_guided=True)``).
+
+**Soundness contract**: for every knob point, the cost model's priced
+latency and energy never fall below :func:`bound_for`'s result. For
+CPU targets the bound *is* the cost model's own arithmetic (shared via
+:func:`repro.core.dse.cost_model.cpu_cost_terms`). For FPGA targets
+the cycle bound replays the scheduler's formulas from below: knob
+combinations that restructure loops (tiling, interchange, layout,
+interleaving, DIFT) fall back to a crude ``ceil(iterations/unroll)``
+floor that survives any iteration-preserving transform. The property
+suite ``tests/analysis/test_perf_properties.py`` polices the contract
+on every example and seeded random kernel.
+
+Bounds are memoized per content digest (in-process LRU) and persisted
+in the digest-keyed :class:`~repro.core.analysis.cache.AnalysisCache`
+with payload kind ``"perf"`` (see ``repro cache stats``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.analysis.absint import (
+    AnalysisFacts,
+    FunctionFacts,
+    compute_function_facts,
+)
+from repro.core.analysis.diagnostics import Diagnostics
+from repro.core.hls.cdfg import CDFG, LoopNode, build_cdfg, loop_carried_chain
+from repro.core.hls.memory import (
+    COMPLETE_PARTITION_LIMIT,
+    PORTS_PER_BANK,
+)
+from repro.core.hls.scheduling import OP_LATENCY, RESOURCE_CLASS
+from repro.core.ir.module import Module
+from repro.core.ir.types import MemRefType
+
+#: Default accelerator clock the roofline verdict is taken at (matches
+#: :class:`~repro.core.hls.bambu.HLSOptions`).
+DEFAULT_CLOCK_HZ = 250e6
+
+#: The memory plan's maximum banking factor (matches plan_memories).
+_MAX_FACTOR = 64
+
+
+# ---------------------------------------------------------------------
+# The bounds record.
+
+
+@dataclass
+class NestBounds:
+    """Analytic facts about one innermost loop nest."""
+
+    anchor: str
+    depth: int
+    trip: int  # innermost trip count
+    outer_iters: int  # product of enclosing loop trips
+    #: operation counts per innermost iteration, by resource class
+    #: ("alu" for unconstrained ops).
+    ops: Dict[str, int] = field(default_factory=dict)
+    #: memory accesses per innermost iteration, per buffer name.
+    accesses: Dict[str, int] = field(default_factory=dict)
+    #: loop-carried accumulation chain latency in cycles (0 = none).
+    chain_latency: int = 0
+
+    @property
+    def total_iters(self) -> int:
+        return self.trip * self.outer_iters
+
+    def min_ii(self, unroll: int, ports_of: Dict[str, int]) -> int:
+        """II floor at ``unroll`` given per-buffer port grants.
+
+        A port grant of 0 means effectively unlimited (registers).
+        """
+        effective = min(max(1, unroll), self.trip) if self.trip else 1
+        ii = max(1, self.chain_latency)
+        for buffer, count in self.accesses.items():
+            ports = ports_of.get(buffer, PORTS_PER_BANK)
+            if ports <= 0:
+                continue
+            ii = max(ii, math.ceil(count * effective / ports))
+        return ii
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"anchor": self.anchor, "depth": self.depth,
+                "trip": self.trip, "outer_iters": self.outer_iters,
+                "ops": dict(sorted(self.ops.items())),
+                "accesses": dict(sorted(self.accesses.items())),
+                "chain_latency": self.chain_latency}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "NestBounds":
+        return NestBounds(
+            anchor=str(payload["anchor"]), depth=int(payload["depth"]),
+            trip=int(payload["trip"]),
+            outer_iters=int(payload["outer_iters"]),
+            ops={str(k): int(v) for k, v in payload["ops"].items()},
+            accesses={str(k): int(v)
+                      for k, v in payload["accesses"].items()},
+            chain_latency=int(payload["chain_latency"]),
+        )
+
+
+@dataclass
+class BufferTraffic:
+    """Bytes one buffer moves per kernel invocation."""
+
+    buffer: str
+    #: without reuse credit: every access re-reads memory.
+    bytes_naive: int = 0
+    #: with reuse credit for provably loop-invariant loads.
+    bytes_moved: int = 0
+    accesses: int = 0  # static access sites
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"buffer": self.buffer, "bytes_naive": self.bytes_naive,
+                "bytes_moved": self.bytes_moved,
+                "accesses": self.accesses}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "BufferTraffic":
+        return BufferTraffic(
+            buffer=str(payload["buffer"]),
+            bytes_naive=int(payload["bytes_naive"]),
+            bytes_moved=int(payload["bytes_moved"]),
+            accesses=int(payload["accesses"]),
+        )
+
+
+@dataclass
+class BufferInfo:
+    """What the memory planner will see for one buffer."""
+
+    buffer: str
+    elements: int
+    element_bits: int
+    #: accesses across every loop body (plan_memories' needed-ports
+    #: input).
+    total_accesses: int = 0
+    #: small kernel.alloc scratch -> complete partitioning (registers).
+    small_alloc: bool = False
+    #: explicit hw.partition directive, if any.
+    scheme: str = ""
+    factor: int = 0
+
+    def ports(self, strategy: str, max_unroll: int) -> int:
+        """Port grant the memory plan will produce (0 = unlimited).
+
+        Mirrors :func:`repro.core.hls.memory.plan_memories` exactly for
+        structure-preserving knob points, so the derived II floor is a
+        true lower bound on the scheduled II.
+        """
+        if self.scheme:
+            if self.scheme == "complete":
+                return 0
+            return max(1, self.factor) * PORTS_PER_BANK
+        if strategy == "none":
+            return PORTS_PER_BANK
+        if self.small_alloc:
+            return 0
+        needed = max(1, self.total_accesses * max(1, max_unroll))
+        factor = 1
+        while factor * PORTS_PER_BANK < needed and factor < _MAX_FACTOR:
+            factor *= 2
+        return factor * PORTS_PER_BANK
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"buffer": self.buffer, "elements": self.elements,
+                "element_bits": self.element_bits,
+                "total_accesses": self.total_accesses,
+                "small_alloc": self.small_alloc,
+                "scheme": self.scheme, "factor": self.factor}
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "BufferInfo":
+        return BufferInfo(
+            buffer=str(payload["buffer"]),
+            elements=int(payload["elements"]),
+            element_bits=int(payload["element_bits"]),
+            total_accesses=int(payload["total_accesses"]),
+            small_alloc=bool(payload["small_alloc"]),
+            scheme=str(payload["scheme"]),
+            factor=int(payload["factor"]),
+        )
+
+
+@dataclass
+class StaticBounds:
+    """Analytic lower bounds for one kernel (the reusable record)."""
+
+    kernel: str
+    #: tensor-level FLOP estimate (what the CPU cost model prices).
+    work: float = 0.0
+    #: tensor-signature bytes (the CPU model's memory term).
+    data_bytes: int = 0
+    #: lowered memref-argument bytes (the FPGA link's stream floor).
+    arg_bytes: int = 0
+    #: total dynamic operation counts by resource class.
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    nests: List[NestBounds] = field(default_factory=list)
+    traffic: List[BufferTraffic] = field(default_factory=list)
+    buffers: List[BufferInfo] = field(default_factory=list)
+    #: "compute-bound" | "memory-bound" at default knobs.
+    verdict: str = "compute-bound"
+    #: the binding resource at default knobs (e.g. "recurrence chain",
+    #: "link bandwidth", "memport:%A").
+    binding: str = ""
+
+    def buffer_info(self) -> Dict[str, BufferInfo]:
+        return {info.buffer: info for info in self.buffers}
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(nest.total_iters for nest in self.nests)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "kind": "perf",
+            "kernel": self.kernel,
+            "work": self.work,
+            "data_bytes": self.data_bytes,
+            "arg_bytes": self.arg_bytes,
+            "op_counts": dict(sorted(self.op_counts.items())),
+            "nests": [nest.to_payload() for nest in self.nests],
+            "traffic": [t.to_payload() for t in self.traffic],
+            "buffers": [b.to_payload() for b in self.buffers],
+            "verdict": self.verdict,
+            "binding": self.binding,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "StaticBounds":
+        return StaticBounds(
+            kernel=str(payload["kernel"]),
+            work=float(payload["work"]),
+            data_bytes=int(payload["data_bytes"]),
+            arg_bytes=int(payload["arg_bytes"]),
+            op_counts={str(k): int(v)
+                       for k, v in payload["op_counts"].items()},
+            nests=[NestBounds.from_payload(n)
+                   for n in payload["nests"]],
+            traffic=[BufferTraffic.from_payload(t)
+                     for t in payload["traffic"]],
+            buffers=[BufferInfo.from_payload(b)
+                     for b in payload["buffers"]],
+            verdict=str(payload["verdict"]),
+            binding=str(payload["binding"]),
+        )
+
+
+# ---------------------------------------------------------------------
+# Deriving bounds from kernel-form IR.
+
+
+def _baseline_kernel_form(module: Module, kernel: str):
+    """The kernel lowered with the knob-independent baseline pipeline.
+
+    Every variant pipeline starts with elementwise fusion and ends in
+    lowering + canonicalization; the baseline applies exactly those,
+    so structure-preserving knob points (no tiling / interchange /
+    layout / interleave / DIFT) schedule the *same* loop bodies the
+    baseline analyzed.
+    """
+    function = module.find_function(kernel)
+    if function is None:
+        return None
+    if not any(op.dialect == "tensor" for op in function.walk()):
+        return function  # already kernel-form
+    from repro.core.ir.passes import (
+        CanonicalizePass,
+        ElementwiseFusionPass,
+        LowerTensorPass,
+        PassManager,
+    )
+
+    clone = module.clone()
+    manager = PassManager(verify_each=False)
+    manager.add(ElementwiseFusionPass())
+    manager.add(LowerTensorPass())
+    manager.add(CanonicalizePass())
+    manager.run(clone)
+    return clone.find_function(kernel)
+
+
+def _nest_walk(
+    loop: LoopNode, outer: int, nests: List[Tuple[LoopNode, int]]
+) -> None:
+    product = outer if loop.op is None else outer * max(
+        1, loop.trip_count)
+    if loop.op is not None and loop.is_innermost:
+        nests.append((loop, outer))
+        return
+    for child in loop.children:
+        _nest_walk(child, product, nests)
+
+
+def _collect_nests(kernel: str, cdfg: CDFG) -> List[NestBounds]:
+    raw: List[Tuple[LoopNode, int]] = []
+    _nest_walk(cdfg.root, 1, raw)
+    nests: List[NestBounds] = []
+    for position, (loop, outer) in enumerate(raw):
+        ops: Dict[str, int] = {}
+        accesses: Dict[str, int] = {}
+        for node in loop.body:
+            cls = RESOURCE_CLASS.get(node.op.name, "alu")
+            ops[cls] = ops.get(cls, 0) + 1
+            buffer = node.buffer()
+            if buffer is not None:
+                accesses[buffer.name] = accesses.get(buffer.name, 0) + 1
+        chain = loop_carried_chain(loop)
+        nests.append(NestBounds(
+            anchor=f"{kernel}/nest{position}",
+            depth=loop.depth,
+            trip=max(0, loop.trip_count),
+            outer_iters=max(1, outer),
+            ops=ops,
+            accesses=accesses,
+            chain_latency=sum(
+                OP_LATENCY.get(node.op.name, 1) for node in chain),
+        ))
+    return nests
+
+
+def _collect_buffers(cdfg: CDFG) -> List[BufferInfo]:
+    infos: "OrderedDict[int, BufferInfo]" = OrderedDict()
+    for loop in cdfg.root.walk():
+        for node in loop.body:
+            buffer = node.buffer()
+            if buffer is None or not isinstance(buffer.type, MemRefType):
+                continue
+            key = id(buffer)
+            info = infos.get(key)
+            if info is None:
+                memref = buffer.type
+                producer = buffer.producer
+                info = BufferInfo(
+                    buffer=buffer.name,
+                    elements=memref.num_elements,
+                    element_bits=memref.element.bit_width,
+                    small_alloc=(
+                        memref.num_elements <= COMPLETE_PARTITION_LIMIT
+                        and producer is not None
+                        and producer.name == "kernel.alloc"
+                    ),
+                )
+                infos[key] = info
+            info.total_accesses += 1
+    for op in cdfg.function.walk():
+        if op.name != "hw.partition" or not op.operands:
+            continue
+        info = infos.get(id(op.operands[0]))
+        if info is not None:
+            info.scheme = str(op.attr("scheme"))
+            info.factor = int(op.attr("factor", 1))
+    return list(infos.values())
+
+
+def _collect_traffic(facts: FunctionFacts) -> List[BufferTraffic]:
+    per_buffer: "OrderedDict[str, BufferTraffic]" = OrderedDict()
+    for access in facts.accesses:
+        record = per_buffer.get(access.buffer)
+        if record is None:
+            record = BufferTraffic(buffer=access.buffer)
+            per_buffer[access.buffer] = record
+        issues = 1
+        for trip in access.enclosing_trips:
+            issues *= max(1, trip)
+        element_bytes = max(1, access.element_bits // 8)
+        record.accesses += 1
+        record.bytes_naive += issues * element_bytes
+        credit = access.reuse_factor if access.kind == "load" else 1
+        record.bytes_moved += (issues // max(1, credit)) * element_bytes
+    return list(per_buffer.values())
+
+
+def _arg_bytes(function) -> int:
+    return sum(
+        declared.size_bytes for declared in function.type.inputs
+        if isinstance(declared, MemRefType)
+    )
+
+
+def _roofline(bounds: StaticBounds) -> Tuple[str, str]:
+    """(verdict, binding resource) at default knobs (unroll 1)."""
+    from repro.platform.interconnect import OpenCAPILink
+
+    link = OpenCAPILink()
+    ports = {info.buffer: info.ports("auto", 1)
+             for info in bounds.buffers}
+    cycles = 0
+    binding = "loop pipeline"
+    worst: Tuple[int, str] = (0, binding)
+    for nest in bounds.nests:
+        if nest.trip <= 0:
+            continue
+        ii = nest.min_ii(1, ports)
+        nest_cycles = nest.outer_iters * (1 + (nest.trip - 1) * ii)
+        cycles += nest_cycles
+        if nest_cycles >= worst[0]:
+            port_term, pressed = 0, ""
+            for buffer, count in nest.accesses.items():
+                port_count = ports.get(buffer, 0)
+                if port_count <= 0:
+                    continue
+                term = math.ceil(count / port_count)
+                if term > port_term:
+                    port_term, pressed = term, buffer
+            if ii <= 1:
+                reason = "loop pipeline"
+            elif nest.chain_latency >= port_term:
+                reason = "recurrence chain"
+            else:
+                reason = f"memport:%{pressed}"
+            worst = (nest_cycles, reason)
+    compute_s = cycles / DEFAULT_CLOCK_HZ
+    stream_s = bounds.arg_bytes / link.bandwidth
+    if stream_s > compute_s:
+        return "memory-bound", "link bandwidth"
+    return "compute-bound", worst[1]
+
+
+def compute_kernel_bounds(
+    module: Module, kernel: str
+) -> Optional[StaticBounds]:
+    """Derive :class:`StaticBounds` for one kernel (uncached)."""
+    from repro.core.dse.cost_model import _data_bytes
+    from repro.core.ir.passes.partitioning import estimate_work
+
+    source = module.find_function(kernel)
+    if source is None or source.is_declaration:
+        return None
+    lowered = _baseline_kernel_form(module, kernel)
+    if lowered is None:
+        return None
+    work, _ = estimate_work(source)
+    cdfg = build_cdfg(lowered)
+    facts = compute_function_facts(lowered)
+    bounds = StaticBounds(
+        kernel=kernel,
+        work=float(work),
+        data_bytes=_data_bytes(source),
+        arg_bytes=_arg_bytes(lowered),
+        nests=_collect_nests(kernel, cdfg),
+        traffic=_collect_traffic(facts),
+        buffers=_collect_buffers(cdfg),
+    )
+    totals: Dict[str, int] = {}
+    for nest in bounds.nests:
+        for cls, count in nest.ops.items():
+            totals[cls] = totals.get(cls, 0) + count * nest.total_iters
+    bounds.op_counts = totals
+    bounds.verdict, bounds.binding = _roofline(bounds)
+    return bounds
+
+
+# ---------------------------------------------------------------------
+# Memoization: in-process LRU + the persistent analysis cache.
+
+_BOUNDS_MEMO: "OrderedDict[Tuple[str, str], StaticBounds]" = OrderedDict()
+_BOUNDS_LOCK = threading.Lock()
+_BOUNDS_MEMO_CAPACITY = 256
+
+
+def kernel_bounds(
+    module: Module, kernel: str, digest: Optional[str] = None
+) -> Optional[StaticBounds]:
+    """Digest-memoized :func:`compute_kernel_bounds`.
+
+    Results live in an in-process LRU *and* the process-wide
+    :class:`~repro.core.analysis.cache.AnalysisCache` (payload kind
+    ``"perf"``), so a warm ``repro perf`` / bound-guided exploration
+    never re-derives bounds for an unchanged kernel. Traffic is
+    published as ``perf.cache_hits`` / ``perf.cache_misses`` /
+    ``perf.bounds_computed``.
+    """
+    from repro.core.analysis.cache import AnalysisCache, analysis_cache
+    from repro.obs import current_metrics
+
+    if digest is None:
+        from repro.core.ir.digest import module_digest
+
+        digest = module_digest(module)
+    memo_key = (digest, kernel)
+    with _BOUNDS_LOCK:
+        cached = _BOUNDS_MEMO.get(memo_key)
+        if cached is not None:
+            _BOUNDS_MEMO.move_to_end(memo_key)
+            return cached
+    metrics = current_metrics()
+    cache = analysis_cache()
+    cache_key = AnalysisCache.perf_key(digest, kernel)
+    payload = cache.get(cache_key)
+    if payload is not None:
+        metrics.counter(
+            "perf.cache_hits", "perf-analysis cache hits",
+        ).inc(1, kernel=kernel)
+        bounds = StaticBounds.from_payload(payload)
+        _memo_put(memo_key, bounds)
+        return bounds
+    metrics.counter(
+        "perf.cache_misses", "perf-analysis cache misses",
+    ).inc(1, kernel=kernel)
+    bounds = compute_kernel_bounds(module, kernel)
+    if bounds is None:
+        return None
+    metrics.counter(
+        "perf.bounds_computed", "static bounds derived from scratch",
+    ).inc(1, kernel=kernel)
+    cache.put(cache_key, bounds.to_payload())
+    _memo_put(memo_key, bounds)
+    return bounds
+
+
+def _memo_put(key: Tuple[str, str], bounds: StaticBounds) -> None:
+    with _BOUNDS_LOCK:
+        _BOUNDS_MEMO[key] = bounds
+        while len(_BOUNDS_MEMO) > _BOUNDS_MEMO_CAPACITY:
+            _BOUNDS_MEMO.popitem(last=False)
+
+
+# ---------------------------------------------------------------------
+# Per-knob-point lower bounds (the explorer's pruning oracle).
+
+
+def _structure_preserving(knobs) -> bool:
+    """Knob points whose pass pipeline keeps the baseline loop bodies.
+
+    Tiling, loop interchange, data-layout conversion, accumulation
+    interleaving and DIFT instrumentation all restructure loops or
+    bodies; for those the refined per-nest II model does not transfer
+    and the crude iteration floor is used instead.
+    """
+    return (
+        not knobs.tile
+        and knobs.layout == "row_major"
+        and knobs.matmul_order == "ijk"
+        and knobs.interleave <= 1
+        and not knobs.dift
+    )
+
+
+def fpga_cycles_lower_bound(bounds: StaticBounds, knobs) -> int:
+    """A cycle count no schedule of this kernel can beat at ``knobs``."""
+    unroll = max(1, int(knobs.unroll))
+    if not _structure_preserving(knobs):
+        # Any iteration-preserving restructuring still has to issue
+        # every innermost iteration at best ``unroll`` at a time, one
+        # initiation per cycle.
+        total = sum(
+            math.ceil(nest.total_iters / unroll)
+            for nest in bounds.nests if nest.trip > 0
+        )
+        return max(1, total)
+    max_unroll = max(
+        [min(unroll, nest.trip) for nest in bounds.nests
+         if nest.trip > 0] or [1]
+    )
+    ports = {info.buffer: info.ports(knobs.memory_strategy, max_unroll)
+             for info in bounds.buffers}
+    total = 0
+    for nest in bounds.nests:
+        if nest.trip <= 0:
+            continue
+        effective = min(unroll, nest.trip)
+        instances = math.ceil(nest.trip / effective)
+        ii = nest.min_ii(effective, ports)
+        total += nest.outer_iters * (1 + (instances - 1) * ii)
+    return max(1, total)
+
+
+def bound_for(
+    bounds: StaticBounds, knobs, model
+) -> Tuple[float, float]:
+    """``(latency_s, energy_j)`` floor for one knob point.
+
+    Guaranteed not to exceed what
+    :func:`repro.core.dse.cost_model.evaluate_variant` returns for the
+    same point (infeasible points price at +inf, above any bound).
+    """
+    if knobs.target == "cpu":
+        from repro.core.dse.cost_model import cpu_cost_terms
+
+        return cpu_cost_terms(
+            bounds.work, bounds.data_bytes, knobs, model)
+    if knobs.target != "fpga":
+        return 0.0, 0.0
+    link = getattr(model, "fpga_link", None)
+    if link is None or getattr(model, "fpga_role_capacity", None) is None:
+        return float("inf"), float("inf")
+    cycles = fpga_cycles_lower_bound(bounds, knobs)
+    compute_s = cycles / max(1.0, float(knobs.clock_hz))
+    stream_s = bounds.arg_bytes / link.bandwidth
+    if link.coherent:
+        latency = max(compute_s, stream_s) + link.latency_s
+    else:
+        latency = compute_s + link.transfer_time(bounds.arg_bytes)
+    energy = link.transfer_energy(bounds.arg_bytes)
+    return latency, energy
+
+
+# ---------------------------------------------------------------------
+# PERF diagnostics (repro lint --only perf).
+
+
+def check_module_perf(
+    module: Module,
+    diagnostics: Optional[Diagnostics] = None,
+    facts: Optional[AnalysisFacts] = None,
+) -> Diagnostics:
+    """PERF001-PERF005 over the kernel-form functions of a module.
+
+    Tensor-form kernels are skipped: their loop structure (and with it
+    every performance property) is decided by DSE knobs, so static
+    performance findings would be speculative. Kernel-form functions —
+    hand-written ``.ir``, migrated front ends, lowered artifacts —
+    carry their directives explicitly and get exact findings:
+
+    * **PERF001** (error): an ``unroll`` directive provably
+      over-subscribes an explicitly partitioned buffer's ports;
+    * **PERF002** (warning): a load provably invariant in its inner
+      loop(s) — hoist it into a register to cut traffic;
+    * **PERF003** (warning): a non-affine access in an innermost loop
+      defeats burst/banking inference;
+    * **PERF004** (note): the kernel is memory-bound at default knobs
+      (the attachment link binds before any compute resource);
+    * **PERF005** (error): a ``pipeline_ii`` target provably
+      unattainable (port pressure or recurrence chain exceeds it).
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    for function in module.functions():
+        if function.is_declaration:
+            continue
+        if any(op.dialect == "tensor" for op in function.walk()):
+            continue
+        if not any(op.name == "kernel.for" for op in function.walk()):
+            continue
+        function_facts = (
+            facts.function(function.name) if facts is not None else None
+        )
+        if function_facts is None:
+            function_facts = compute_function_facts(function)
+        _check_function_perf(function, function_facts, diagnostics)
+    return diagnostics
+
+
+def _check_function_perf(
+    function, facts: FunctionFacts, diagnostics: Diagnostics
+) -> None:
+    from repro.errors import HLSError
+
+    try:
+        cdfg = build_cdfg(function)
+    except HLSError:
+        return
+    directives: Dict[int, Tuple[str, int]] = {}
+    for op in function.walk():
+        if op.name == "hw.partition" and op.operands:
+            directives[id(op.operands[0])] = (
+                str(op.attr("scheme")), int(op.attr("factor", 1)),
+            )
+
+    for loop in cdfg.innermost_loops():
+        anchor = f"{function.name}/kernel.for"
+        trip = loop.trip_count
+        if trip <= 0:
+            continue
+        unroll = loop.unroll
+        effective = min(unroll, trip)
+        per_buffer: Dict[int, Tuple[str, int]] = {}
+        for node in loop.body:
+            buffer = node.buffer()
+            if buffer is None:
+                continue
+            name, count = per_buffer.get(id(buffer), (buffer.name, 0))
+            per_buffer[id(buffer)] = (name, count + 1)
+
+        ii_floor = 1
+        pressed = ""
+        for key, (name, count) in per_buffer.items():
+            directive = directives.get(key)
+            if directive is None or directive[0] == "complete":
+                continue
+            scheme, factor = directive
+            ports = max(1, factor) * PORTS_PER_BANK
+            demanded = count * effective
+            if effective > 1 and demanded > ports:
+                diagnostics.error(
+                    "PERF001",
+                    f"unroll {unroll} demands {demanded} concurrent "
+                    f"ports on %{name} ({count} accesses x {effective} "
+                    f"copies) but {scheme} factor {factor} provides "
+                    f"only {ports}",
+                    anchor=anchor, analysis="perf",
+                )
+            term = math.ceil(demanded / ports)
+            if term > ii_floor:
+                ii_floor, pressed = term, name
+
+        if loop.pipelined:
+            target = max(1, int(loop.op.attr("pipeline_ii", 1)))
+            interleave = max(1, int(loop.op.attr("interleave", 1)))
+            chain = loop_carried_chain(loop)
+            rec = math.ceil(
+                sum(OP_LATENCY.get(node.op.name, 1) for node in chain)
+                / interleave
+            ) if chain else 1
+            floor = max(ii_floor, rec)
+            if floor > target:
+                cause = (
+                    f"the loop-carried accumulation chain "
+                    f"({rec} cycles)"
+                    if rec >= ii_floor else
+                    f"port pressure on %{pressed}"
+                )
+                diagnostics.error(
+                    "PERF005",
+                    f"pipeline_ii = {target} is provably unattainable: "
+                    f"{cause} forces II >= {floor}",
+                    anchor=anchor, analysis="perf",
+                )
+
+    for access in facts.accesses:
+        if not access.enclosing_trips:
+            continue
+        if access.kind == "load" and access.reuse_factor > 1:
+            diagnostics.warning(
+                "PERF002",
+                f"load on %{access.buffer} is invariant in its "
+                f"innermost loop(s): hoisting it to a register saves "
+                f"{access.reuse_factor - 1} of every "
+                f"{access.reuse_factor} issues",
+                anchor=access.anchor, analysis="perf",
+            )
+        if access.depends_on and access.depends_on[-1] and any(
+            not dim.affine for dim in access.dims
+        ):
+            diagnostics.warning(
+                "PERF003",
+                f"{access.kind} on %{access.buffer} uses a non-affine "
+                f"index expression: burst inference and conflict-free "
+                f"banking are defeated",
+                anchor=access.anchor, analysis="perf",
+            )
+
+    bounds = compute_kernel_bounds_from_function(function, cdfg, facts)
+    if bounds is not None and bounds.verdict == "memory-bound":
+        stream_gbps = _default_link_bandwidth() / 1e9
+        diagnostics.note(
+            "PERF004",
+            f"kernel is memory-bound at default knobs: streaming "
+            f"{bounds.arg_bytes} argument bytes over the "
+            f"{stream_gbps:.1f} GB/s attachment link dominates the "
+            f"compute floor; unroll/partition knobs cannot help",
+            anchor=f"{function.name}", analysis="perf",
+        )
+
+
+def _default_link_bandwidth() -> float:
+    from repro.platform.interconnect import OpenCAPILink
+
+    return OpenCAPILink().bandwidth
+
+
+def compute_kernel_bounds_from_function(
+    function, cdfg: Optional[CDFG] = None,
+    facts: Optional[FunctionFacts] = None,
+) -> Optional[StaticBounds]:
+    """Bounds straight from a kernel-form function (no lowering)."""
+    from repro.core.dse.cost_model import _data_bytes
+    from repro.core.ir.passes.partitioning import estimate_work
+    from repro.errors import HLSError
+
+    if cdfg is None:
+        try:
+            cdfg = build_cdfg(function)
+        except HLSError:
+            return None
+    if facts is None:
+        facts = compute_function_facts(function)
+    work, _ = estimate_work(function)
+    bounds = StaticBounds(
+        kernel=function.name,
+        work=float(work),
+        data_bytes=_data_bytes(function),
+        arg_bytes=_arg_bytes(function),
+        nests=_collect_nests(function.name, cdfg),
+        traffic=_collect_traffic(facts),
+        buffers=_collect_buffers(cdfg),
+    )
+    totals: Dict[str, int] = {}
+    for nest in bounds.nests:
+        for cls, count in nest.ops.items():
+            totals[cls] = totals.get(cls, 0) + count * nest.total_iters
+    bounds.op_counts = totals
+    bounds.verdict, bounds.binding = _roofline(bounds)
+    return bounds

@@ -212,14 +212,17 @@ def _data_bytes(function) -> int:
     return total
 
 
-def _evaluate_cpu(
-    module: Module, kernel: str, knobs: VariantKnobs,
+def cpu_cost_terms(
+    work: float, data_bytes: float, knobs: VariantKnobs,
     model: ArchitectureModel,
-) -> CostEstimate:
-    function = module.find_function(kernel)
-    work, _ = estimate_work(function)
-    data_bytes = _data_bytes(function)
+) -> "tuple[float, float]":
+    """``(latency_s, energy_j)`` of ``work`` flops on the host CPU.
 
+    This is the *entire* CPU pricing arithmetic, shared with the
+    static performance analyzer (:mod:`repro.core.analysis.perf`): the
+    analyzer's CPU lower bound must never exceed the priced cost, and
+    reusing the identical float operations makes the bound exact.
+    """
     efficiency = model.cpu_efficiency
     if knobs.tile:
         efficiency *= 1.6  # blocked working set stays in cache
@@ -245,7 +248,17 @@ def _evaluate_cpu(
     active_fraction = threads / model.cpu.cores
     power = model.cpu.idle_watts + (
         model.cpu.tdp_watts - model.cpu.idle_watts) * active_fraction
-    energy = power * latency
+    return latency, power * latency
+
+
+def _evaluate_cpu(
+    module: Module, kernel: str, knobs: VariantKnobs,
+    model: ArchitectureModel,
+) -> CostEstimate:
+    function = module.find_function(kernel)
+    work, _ = estimate_work(function)
+    data_bytes = _data_bytes(function)
+    latency, energy = cpu_cost_terms(work, data_bytes, knobs, model)
     return CostEstimate(
         latency_s=latency,
         energy_j=energy,

@@ -21,15 +21,27 @@ batch boundaries do not depend on ``workers``, and
 submission order on the main thread. Fronts are maintained with the
 incremental :class:`~repro.core.dse.pareto.ParetoFront`, so the
 front-growth curve costs O(n·front) instead of O(n³).
+
+**Bound-guided pruning** (``Explorer(..., bound_guided=True)``) layers
+the static performance analyzer on top of the exhaustive strategy:
+points are priced in ascending order of their analytic latency lower
+bound (:func:`repro.core.analysis.perf.bound_for`), and a point is
+skipped entirely when its *bound* already violates a requirement or is
+dominated by an already-priced front member — the bound never exceeds
+the priced cost, so a dominated bound proves the point can never join
+the front. The resulting front is identical (member set *and* order,
+hence :meth:`ExplorationResult.front_json` byte-identity) to an
+unpruned run; skips are counted in ``dse.bound_pruned_points``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis.absint import function_facts
 from repro.core.dse.cache import cost_cache, prepared_cache
@@ -54,6 +66,13 @@ DSE_CATEGORY = "dse.explore"
 #: count so batch spans (and therefore deterministic traces) are
 #: identical whether a run is serial or parallel.
 BATCH_SIZE = 16
+
+#: Batch size for bound-guided exploration. Smaller than
+#: :data:`BATCH_SIZE` because skip decisions only happen between
+#: batches: the sooner the first (best-bounded) points are priced, the
+#: more later points the incumbent front can prove skippable. Still a
+#: fixed constant so batch composition is worker-independent.
+BOUND_BATCH_SIZE = 4
 
 
 @dataclass
@@ -119,6 +138,31 @@ class ExplorationResult:
         return json.dumps(payload, sort_keys=True, indent=indent,
                           separators=None if indent else (",", ":"))
 
+    def front_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON of the Pareto front alone.
+
+        Unlike :meth:`to_json` this does not mention the evaluated
+        set, so a bound-guided (pruned) and an unpruned exploration of
+        the same space — which price different point sets but must
+        agree on the front — serialize byte-identically.
+        """
+        payload = {
+            "kernel": self.kernel,
+            "front": [
+                {
+                    "knobs": variant.knobs.describe(),
+                    "target": variant.knobs.target,
+                    "latency_s": variant.cost.latency_s,
+                    "energy_j": variant.cost.energy_j,
+                    "data_bytes": variant.cost.data_bytes,
+                    "feasible": variant.cost.feasible,
+                }
+                for variant in self.front
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent,
+                          separators=None if indent else (",", ":"))
+
 
 class Explorer:
     """Runs one exploration strategy for one kernel.
@@ -136,6 +180,7 @@ class Explorer:
         requirements: Optional[Sequence[Requirement]] = None,
         workers: int = 1,
         prune: bool = True,
+        bound_guided: bool = False,
     ):
         if workers < 1:
             raise DSEError(f"workers must be >= 1, got {workers}")
@@ -161,7 +206,9 @@ class Explorer:
             and self.model.fpga_link is not None
             else None
         )
+        self.bound_guided = bound_guided
         self._pruned = 0
+        self._bound_pruned = 0
         self._prune_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -280,6 +327,88 @@ class Explorer:
         result.front = front.variants()
         return result
 
+    def _bound_skippable(
+        self, estimate: Tuple[float, float], front: ParetoFront
+    ) -> bool:
+        """Can this point provably never join the front?
+
+        ``estimate`` is an analytic *lower* bound on the priced cost.
+        If the bound already violates a requirement, the actual cost
+        violates it too (latency/energy bounds are floors, the
+        throughput bound a ceiling). If an already-priced front member
+        dominates the bound, it also dominates the actual cost — with
+        the same strict coordinate — so the point could neither join
+        the front nor evict anyone from it.
+        """
+        lat_lb, en_lb = estimate
+        synthetic = CostEstimate(
+            latency_s=lat_lb, energy_j=en_lb, feasible=True,
+        )
+        for requirement in self.requirements:
+            measured = self._measure_for(requirement, synthetic)
+            if measured is not None and not requirement.satisfied_by(
+                measured
+            ):
+                return True
+        return any(
+            member.cost.dominates(synthetic)
+            for member in front.variants()
+        )
+
+    def _bound_exhaustive(self) -> ExplorationResult:
+        """Exhaustive-front search that skips bound-dominated points.
+
+        Points are priced best-bound-first so the scratch front gains
+        strong members early and later (worse-bounded) points skip
+        without pricing. Skip decisions happen on the main thread
+        between batches, so batch composition — and with it the final
+        result — is identical at every worker count. The final result
+        re-admits the priced points in original space order, making a
+        pruned run's ``front_json`` byte-identical to an unpruned one.
+        """
+        from repro.core.analysis.perf import bound_for, kernel_bounds
+
+        bounds = kernel_bounds(self.module, self.kernel, self._digest)
+        if bounds is None:
+            return self.exhaustive()
+        points = list(self.space.points())
+        estimates = [
+            bound_for(bounds, knobs, self.model) for knobs in points
+        ]
+        order = sorted(
+            range(len(points)),
+            key=lambda i: (estimates[i][0], estimates[i][1], i),
+        )
+        scratch_result = ExplorationResult(kernel=self.kernel)
+        scratch_front = ParetoFront()
+        priced: Dict[int, CostEstimate] = {}
+        pending = deque(order)
+        while pending:
+            batch: List[int] = []
+            while pending and len(batch) < BOUND_BATCH_SIZE:
+                index = pending.popleft()
+                if self._bound_skippable(estimates[index],
+                                         scratch_front):
+                    self._bound_pruned += 1
+                    continue
+                batch.append(index)
+            if not batch:
+                continue
+            variants = self._evaluate_points(
+                [points[i] for i in batch],
+                scratch_result, scratch_front,
+            )
+            for index, variant in zip(batch, variants):
+                priced[index] = variant.cost
+        result = ExplorationResult(kernel=self.kernel)
+        front = ParetoFront()
+        for index in range(len(points)):
+            cost = priced.get(index)
+            if cost is not None:
+                self._admit(points[index], cost, result, front)
+        result.front = front.variants()
+        return result
+
     def random(self, budget: int = 16, seed: str = "dse"
                ) -> ExplorationResult:
         """Sample ``budget`` distinct points uniformly."""
@@ -354,13 +483,21 @@ class Explorer:
             ) -> ExplorationResult:
         """Dispatch by strategy name; traces and meters the run."""
         tracer = current_tracer()
+        if self.bound_guided and strategy != "exhaustive":
+            raise DSEError(
+                "bound-guided exploration requires the exhaustive "
+                f"strategy, not {strategy!r}"
+            )
         prepared_before = prepared_cache().stats.snapshot()
         cost_before = cost_cache().stats.snapshot()
         with tracer.span(f"explore:{self.kernel}",
                          category=DSE_CATEGORY,
                          strategy=strategy) as span:
             if strategy == "exhaustive":
-                result = self.exhaustive()
+                result = (
+                    self._bound_exhaustive() if self.bound_guided
+                    else self.exhaustive()
+                )
             elif strategy == "random":
                 result = self.random(**kwargs)
             elif strategy == "evolutionary":
@@ -374,6 +511,7 @@ class Explorer:
                 front=len(result.front),
                 feasible=len(result.feasible),
                 pruned=self._pruned,
+                bound_pruned=self._bound_pruned,
             )
         if tracer.enabled and tracer.detailed:
             # Pareto-front growth curve: front size after each prefix
@@ -402,6 +540,11 @@ class Explorer:
                 "dse.pruned_points",
                 "points rejected statically before pricing",
             ).inc(self._pruned, kernel=self.kernel)
+        if self._bound_pruned:
+            metrics.counter(
+                "dse.bound_pruned_points",
+                "points skipped by analytic lower bound",
+            ).inc(self._bound_pruned, kernel=self.kernel)
         # Cache traffic this run caused, published from the main
         # thread (workers never touch the ambient observation).
         for cache_name, stats, before in (
