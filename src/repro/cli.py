@@ -57,6 +57,7 @@ from repro.core.dse.cost_model import (
 )
 from repro.core.dse.explorer import Explorer
 from repro.core.dse.space import DesignSpace
+from repro.core.ir.digest import module_digest
 from repro.core.dsl.kernel_dsl import compile_kernel, kernel_names
 from repro.core.variants import VariantKnobs
 from repro.utils.tables import Table
@@ -112,8 +113,11 @@ def cmd_compile(args: argparse.Namespace) -> int:
         ["kernel", "points", "feasible", "front", "best latency us",
          "best energy uJ"],
     )
+    digest = module_digest(module)
     for name in kernel_names(source):
-        explorer = Explorer(module, name, space, workers=args.workers)
+        explorer = Explorer(module, name, space, workers=args.workers,
+                            workers_mode=args.workers_mode,
+                            digest=digest)
         result = explorer.run(args.strategy)
         best_latency = result.best_latency()
         best_energy = result.best_energy()
@@ -141,7 +145,8 @@ def cmd_synth(args: argparse.Namespace) -> int:
         target="fpga", unroll=args.unroll,
         clock_hz=args.clock_mhz * 1e6,
     )
-    prepared = prepare_variant_module(module, args.kernel, knobs)
+    prepared = prepare_variant_module(module, args.kernel, knobs,
+                                      module_digest(module))
     design = synthesize(
         prepared, args.kernel,
         HLSOptions(
@@ -165,6 +170,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     space = _space_by_name(args.space)
     explorer = Explorer(module, args.kernel, space,
                         workers=args.workers,
+                        workers_mode=args.workers_mode,
                         bound_guided=getattr(args, "bound_guided",
                                              False))
     before = cost_cache().stats.snapshot()
@@ -305,7 +311,8 @@ def cmd_emit(args: argparse.Namespace) -> int:
         if args.what == "sycl"
         else VariantKnobs(target="fpga", unroll=args.unroll)
     )
-    prepared = prepare_variant_module(module, args.kernel, knobs)
+    prepared = prepare_variant_module(module, args.kernel, knobs,
+                                      module_digest(module))
     if args.what == "sycl":
         from repro.core.backend.sycl_gen import generate_sycl
 
@@ -366,7 +373,8 @@ _CHAOS_RECIPE_KEYS = (
 )
 
 #: Ditto for `repro run` deployments.
-_RUN_RECIPE_KEYS = ("file", "strategy", "clock", "workers")
+_RUN_RECIPE_KEYS = ("file", "strategy", "clock", "workers",
+                    "workers_mode")
 
 
 def _open_durable_run(args: argparse.Namespace, kind: str,
@@ -726,7 +734,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         run = run_traced(
             args.file, clock=args.clock, strategy=args.strategy,
-            workers=args.workers, journal=journal, resume=resume,
+            workers=args.workers, workers_mode=args.workers_mode,
+            journal=journal, resume=resume,
         )
     finally:
         if journal is not None:
@@ -766,7 +775,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     _configure_dse_caches(args)
     run = run_traced(
         args.file, clock=args.clock, strategy=args.strategy,
-        workers=args.workers,
+        workers=args.workers, workers_mode=args.workers_mode,
     )
     tracer = run.observation.tracer
     problems = validate_chrome_trace(tracer.to_chrome())
@@ -790,7 +799,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
     _configure_dse_caches(args)
     run = run_traced(args.file, strategy=args.strategy,
-                     workers=args.workers)
+                     workers=args.workers,
+                     workers_mode=args.workers_mode)
     metrics = run.observation.metrics
     if args.format == "json":
         print(metrics.to_json(indent=2))
@@ -1100,8 +1110,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_workers_flag(command_parser: argparse.ArgumentParser) -> None:
         command_parser.add_argument(
             "--workers", type=int, default=1, metavar="N",
-            help="evaluate DSE batches on N threads; any value "
+            help="evaluate DSE batches on N workers; any value "
                  "produces identical results (default: 1)",
+        )
+        command_parser.add_argument(
+            "--workers-mode", choices=("thread", "process"),
+            default="thread", dest="workers_mode",
+            help="pool flavor for --workers: 'thread' (cheap, "
+                 "GIL-bound) or 'process' (true parallelism); both "
+                 "produce identical results (default: thread)",
         )
 
     def add_journal_flags(command_parser: argparse.ArgumentParser) -> None:

@@ -36,6 +36,7 @@ from repro.core.dsl.annotations import Sensitivity
 from repro.core.dsl.workflow import Pipeline, lint_pipeline_contracts
 from repro.core.hls.bambu import HLSOptions, synthesize
 from repro.core.hls.scheduling import ResourceBudget
+from repro.core.ir.digest import module_digest
 from repro.core.ir.module import Module
 from repro.core.ir.passes.partitioning import HardwarePartitioningPass
 from repro.errors import AnalysisError, BackendError
@@ -88,6 +89,7 @@ class EverestCompiler:
         emit_artifacts: bool = True,
         static_checks: bool = True,
         workers: int = 1,
+        workers_mode: str = "thread",
     ):
         self.space = space or DesignSpace.small()
         self.model = model or ArchitectureModel()
@@ -95,9 +97,11 @@ class EverestCompiler:
         self.signing_key = signing_key
         self.emit_artifacts = emit_artifacts
         self.static_checks = static_checks
-        #: Thread-pool width for per-kernel DSE batches; results are
-        #: identical for every value (see Explorer).
+        #: Pool width and flavor ("thread" or "process") for per-kernel
+        #: DSE batches; results are identical for every combination
+        #: (see Explorer).
         self.workers = workers
+        self.workers_mode = workers_mode
 
     # ------------------------------------------------------------------
 
@@ -111,6 +115,13 @@ class EverestCompiler:
                 module = pipeline.to_ir()
                 sensitive_kernels = self._propagate_sensitivity(module)
                 HardwarePartitioningPass().run(module)
+
+            # One digest for the whole compile: every downstream
+            # consumer (analysis gate, explorer, artifact packaging)
+            # keys its caches off this hash instead of re-digesting.
+            # The version-counter memo makes re-digesting free anyway;
+            # threading it removes the footgun entirely.
+            digest = module_digest(module)
 
             diagnostics = Diagnostics()
             if self.static_checks:
@@ -129,7 +140,7 @@ class EverestCompiler:
                     # identical traces at any cache temperature.
                     with observe(Observation(metrics=metrics)):
                         cached, _facts, _hit = analyze_module_cached(
-                            module)
+                            module, digest=digest)
                     diagnostics.extend(cached)
                     check_pipeline_concurrency(pipeline, diagnostics)
                     lint_pipeline_contracts(pipeline, diagnostics)
@@ -162,6 +173,8 @@ class EverestCompiler:
                     requirements=list(task.requirements)
                     + list(pipeline.requirements),
                     workers=self.workers,
+                    workers_mode=self.workers_mode,
+                    digest=digest,
                 )
                 result = explorer.run(self.strategy)
                 app.exploration[kernel] = result
@@ -173,7 +186,7 @@ class EverestCompiler:
                                  category=COMPILE_CATEGORY) as span:
                     for variant in result.feasible:
                         artifact = (
-                            self._build_artifact(module, variant)
+                            self._build_artifact(module, variant, digest)
                             if self.emit_artifacts else None
                         )
                         app.package.add_variant(variant, artifact)
@@ -231,7 +244,9 @@ class EverestCompiler:
                             tainted_values.add(id(result))
         return sensitive_kernels
 
-    def _build_artifact(self, module: Module, variant) -> Artifact:
+    def _build_artifact(
+        self, module: Module, variant, digest: Optional[str] = None
+    ) -> Artifact:
         """Generate the deployable artifact for one variant."""
         # Muted observation: preparation is memoized, so whether the
         # pass pipeline actually runs here depends on cache warmth;
@@ -240,7 +255,7 @@ class EverestCompiler:
         # deterministic record of this work.
         with observe(Observation()):
             prepared = prepare_variant_module(
-                module, variant.kernel, variant.knobs
+                module, variant.kernel, variant.knobs, digest
             )
         if variant.knobs.target == "cpu":
             source = generate_sycl(prepared, variant.kernel)

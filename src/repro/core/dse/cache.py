@@ -69,6 +69,19 @@ class CacheStats:
             evictions=self.evictions - since.evictions,
         )
 
+    def add(self, delta: "CacheStats") -> None:
+        """Fold another stats delta into this one.
+
+        The process-pool explorer uses this to merge the prepared-cache
+        counters its worker processes accumulated back into the parent's
+        stats, so hit ratios published after a run account for work
+        done in children exactly as a serial run would.
+        """
+        self.hits += delta.hits
+        self.misses += delta.misses
+        self.stores += delta.stores
+        self.evictions += delta.evictions
+
     @property
     def lookups(self) -> int:
         """Total gets served."""

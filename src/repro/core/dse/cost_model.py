@@ -193,15 +193,41 @@ def evaluate_variant(
     if cached is not None:
         return cached
 
-    if knobs.target == "cpu":
-        cost = _evaluate_cpu(module, kernel, knobs, model)
-    else:
-        cost = _evaluate_fpga(module, kernel, knobs, model, digest)
+    cost = price_variant(module, kernel, knobs, model, digest)
     cache.put(key, cost, context={
         "kernel": kernel, "knobs": knobs.describe(),
         "target": knobs.target,
     })
     return cost
+
+
+def price_variant(
+    module: Module,
+    kernel: str,
+    knobs: VariantKnobs,
+    model: Optional[ArchitectureModel] = None,
+    digest: Optional[str] = None,
+) -> CostEstimate:
+    """Price one knob assignment, bypassing the cost cache.
+
+    This is the pure computation behind :func:`evaluate_variant` —
+    validation plus target dispatch, no cost-cache get/put. Process-pool
+    workers call it directly: the parent owns the cost cache and
+    performs the single get/put around each dispatch, so serial, thread
+    and process runs count identical cache traffic. (The prepared-module
+    LRU is still consulted, per process.)
+    """
+    model = model or ArchitectureModel()
+    function = module.find_function(kernel)
+    if function is None:
+        raise DSEError(f"no kernel named {kernel!r}")
+    if knobs.target not in ("cpu", "fpga"):
+        raise DSEError(
+            f"cost model does not support target {knobs.target!r}"
+        )
+    if knobs.target == "cpu":
+        return _evaluate_cpu(module, kernel, knobs, model)
+    return _evaluate_fpga(module, kernel, knobs, model, digest)
 
 
 def _data_bytes(function) -> int:

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis.absint import function_facts
-from repro.core.dse.cache import cost_cache, prepared_cache
+from repro.core.dse.cache import CostCache, cost_cache, prepared_cache
 from repro.core.dse.cost_model import (
     ArchitectureModel,
     evaluate_variant,
@@ -167,8 +167,13 @@ class ExplorationResult:
 class Explorer:
     """Runs one exploration strategy for one kernel.
 
-    ``workers`` sets the width of the per-batch thread pool; 1 (the
-    default) evaluates serially. Any value produces identical results.
+    ``workers`` sets the width of the per-batch pool; 1 (the default)
+    evaluates serially. ``workers_mode`` picks the pool flavor:
+    ``"thread"`` (cheap, but GIL-bound for the pure-Python pricing) or
+    ``"process"`` (true parallelism; work units are picklable knob
+    points keyed by the module digest, and the parent keeps the cost
+    cache so accounting matches serial). Any combination produces
+    byte-identical results, traces, and cache statistics.
     """
 
     def __init__(
@@ -179,21 +184,32 @@ class Explorer:
         model: Optional[ArchitectureModel] = None,
         requirements: Optional[Sequence[Requirement]] = None,
         workers: int = 1,
+        workers_mode: str = "thread",
         prune: bool = True,
         bound_guided: bool = False,
+        digest: Optional[str] = None,
     ):
         if workers < 1:
             raise DSEError(f"workers must be >= 1, got {workers}")
+        if workers_mode not in ("thread", "process"):
+            raise DSEError(
+                "workers_mode must be 'thread' or 'process', "
+                f"got {workers_mode!r}"
+            )
         self.module = module
         self.kernel = kernel
         self.space = space or DesignSpace.small()
         self.model = model or ArchitectureModel()
         self.requirements = list(requirements or [])
         self.workers = workers
+        self.workers_mode = workers_mode
         self.prune = prune
-        #: Content digest of the source module, computed once per
-        #: explorer so per-point cache lookups skip re-hashing.
-        self._digest = module_digest(module)
+        self._process_pool = None
+        #: Content digest of the source module; accepted from the
+        #: caller (the compiler hashes once per compile) or computed
+        #: here — either way per-point cache lookups skip re-hashing.
+        self._digest = digest if digest is not None else \
+            module_digest(module)
         #: Interval facts for the kernel, shared with the cost model's
         #: own static gate through the digest-keyed memo. Pruning only
         #: fires on nodes that have an FPGA at all: on a CPU-only
@@ -226,16 +242,29 @@ class Explorer:
         the cost model's own gate would have produced, so pruned and
         unpruned explorations serialize byte-identically.
         """
-        conflict = static_conflict(knobs, self._facts)
-        if conflict is not None:
-            with self._prune_lock:
-                self._pruned += 1
-            return CostEstimate(
-                latency_s=float("inf"), energy_j=float("inf"),
-                feasible=False, infeasible_reason=conflict,
-            )
+        pruned = self._static_estimate(knobs)
+        if pruned is not None:
+            return pruned
         cost = evaluate_variant(self.module, self.kernel, knobs,
                                 self.model, digest=self._digest)
+        return self._apply_requirements(cost)
+
+    def _static_estimate(
+        self, knobs: VariantKnobs
+    ) -> Optional[CostEstimate]:
+        """The prune verdict for one point, or None to price it."""
+        conflict = static_conflict(knobs, self._facts)
+        if conflict is None:
+            return None
+        with self._prune_lock:
+            self._pruned += 1
+        return CostEstimate(
+            latency_s=float("inf"), energy_j=float("inf"),
+            feasible=False, infeasible_reason=conflict,
+        )
+
+    def _apply_requirements(self, cost: CostEstimate) -> CostEstimate:
+        """Mark a priced estimate infeasible on requirement violation."""
         if cost.feasible:
             for requirement in self.requirements:
                 measured = self._measure_for(requirement, cost)
@@ -284,9 +313,10 @@ class Explorer:
         """
         tracer = current_tracer()
         admitted: List[Variant] = []
+        parallel = self.workers > 1 and len(points) > 1
         executor = (
             ThreadPoolExecutor(max_workers=self.workers)
-            if self.workers > 1 and len(points) > 1 else None
+            if parallel and self.workers_mode == "thread" else None
         )
         try:
             for start in range(0, len(points), BATCH_SIZE):
@@ -299,7 +329,9 @@ class Explorer:
                     # pass pipeline entirely) nor worker threads
                     # (which must never touch the ambient tracer).
                     with observe(Observation()):
-                        if executor is not None:
+                        if parallel and self.workers_mode == "process":
+                            costs = self._price_batch_process(batch)
+                        elif executor is not None:
                             costs = list(
                                 executor.map(self._cost_for, batch)
                             )
@@ -316,6 +348,71 @@ class Explorer:
             if executor is not None:
                 executor.shutdown()
         return admitted
+
+    def _ensure_process_pool(self):
+        """Lazily create the worker pool, shipping the module once."""
+        if self._process_pool is None:
+            from repro.core.dse.pool import create_pool
+            from repro.core.ir.printer import print_module
+
+            self._process_pool = create_pool(
+                self.workers, print_module(self.module), self._digest,
+                self.kernel, self.model,
+            )
+        return self._process_pool
+
+    def close(self) -> None:
+        """Release the process pool, if one was created."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
+            self._process_pool = None
+
+    def _price_batch_process(
+        self, batch: Sequence[VariantKnobs]
+    ) -> List[CostEstimate]:
+        """Price one batch on the process pool.
+
+        The parent performs the static-prune check and the single
+        cost-cache get/put per point — exactly the accounting a serial
+        run does — and only cache-missing points are dispatched to the
+        workers, which price with the cache-free
+        :func:`~repro.core.dse.cost_model.price_variant` and return
+        their prepared-cache stat deltas for merging. Results come back
+        in batch order, so admission order matches serial.
+        """
+        from repro.core.dse.pool import price_point
+
+        cache = cost_cache()
+        fingerprint = self.model.fingerprint()
+        costs: List[Optional[CostEstimate]] = [None] * len(batch)
+        remote: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, knobs in enumerate(batch):
+            cost = self._static_estimate(knobs)
+            if cost is None:
+                keys[index] = CostCache.key(
+                    self._digest, self.kernel, knobs, fingerprint
+                )
+                cost = cache.get(keys[index])
+            if cost is None:
+                remote.append(index)
+            else:
+                costs[index] = self._apply_requirements(cost)
+        if remote:
+            pool = self._ensure_process_pool()
+            priced = list(pool.map(
+                price_point, [batch[index] for index in remote]
+            ))
+            merged = prepared_cache().stats
+            for index, (cost, child_delta) in zip(remote, priced):
+                merged.add(child_delta)
+                cache.put(keys[index], cost, context={
+                    "kernel": self.kernel,
+                    "knobs": batch[index].describe(),
+                    "target": batch[index].target,
+                })
+                costs[index] = self._apply_requirements(cost)
+        return costs
 
     # ------------------------------------------------------------------
 
@@ -490,29 +587,32 @@ class Explorer:
             )
         prepared_before = prepared_cache().stats.snapshot()
         cost_before = cost_cache().stats.snapshot()
-        with tracer.span(f"explore:{self.kernel}",
-                         category=DSE_CATEGORY,
-                         strategy=strategy) as span:
-            if strategy == "exhaustive":
-                result = (
-                    self._bound_exhaustive() if self.bound_guided
-                    else self.exhaustive()
+        try:
+            with tracer.span(f"explore:{self.kernel}",
+                             category=DSE_CATEGORY,
+                             strategy=strategy) as span:
+                if strategy == "exhaustive":
+                    result = (
+                        self._bound_exhaustive() if self.bound_guided
+                        else self.exhaustive()
+                    )
+                elif strategy == "random":
+                    result = self.random(**kwargs)
+                elif strategy == "evolutionary":
+                    result = self.evolutionary(**kwargs)
+                else:
+                    raise DSEError(
+                        f"unknown exploration strategy {strategy!r}"
+                    )
+                span.note(
+                    evaluations=result.evaluations,
+                    front=len(result.front),
+                    feasible=len(result.feasible),
+                    pruned=self._pruned,
+                    bound_pruned=self._bound_pruned,
                 )
-            elif strategy == "random":
-                result = self.random(**kwargs)
-            elif strategy == "evolutionary":
-                result = self.evolutionary(**kwargs)
-            else:
-                raise DSEError(
-                    f"unknown exploration strategy {strategy!r}"
-                )
-            span.note(
-                evaluations=result.evaluations,
-                front=len(result.front),
-                feasible=len(result.feasible),
-                pruned=self._pruned,
-                bound_pruned=self._bound_pruned,
-            )
+        finally:
+            self.close()
         if tracer.enabled and tracer.detailed:
             # Pareto-front growth curve: front size after each prefix
             # of the evaluation order, one counter sample per point —

@@ -1,0 +1,101 @@
+"""Process-pool pricing workers for the explorer.
+
+The PR 5 thread pool is GIL-bound: variant pricing is pure Python
+(pass pipeline + HLS), so threads only overlap during the rare I/O.
+``workers_mode="process"`` prices batch points in child processes
+instead. The design keeps results and *accounting* byte-identical to a
+serial run:
+
+* Work units are picklable and keyed by the source module's content
+  digest. Each worker parses the printed module text exactly once (in
+  the pool initializer) and then prices knob points with
+  :func:`repro.core.dse.cost_model.price_variant` — the cache-free
+  pricing core.
+* The parent owns the cost cache: it performs the single get before
+  dispatch and the single put after, so hit/miss counts match a serial
+  run at every worker count.
+* Each priced point returns the worker's prepared-module cache stats
+  delta, which the parent folds into its own stats
+  (:meth:`repro.core.dse.cache.CacheStats.add`), so published hit
+  ratios account for child work.
+
+Pricing in the child runs under a muted observation, mirroring the
+explorer's hermetic-batch rule: worker processes must never contribute
+trace spans or metrics of their own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Tuple
+
+from repro.core.dse.cache import CacheStats
+from repro.core.variants import CostEstimate, VariantKnobs
+
+#: Per-process worker state, set once by :func:`_init_worker`.
+_STATE: Dict[str, Any] = {}
+
+
+def create_pool(
+    workers: int,
+    module_text: str,
+    digest: str,
+    kernel: str,
+    model: Any,
+) -> ProcessPoolExecutor:
+    """A process pool whose workers hold a parsed copy of the module.
+
+    Prefers the ``fork`` start method where available (cheap, and the
+    child inherits the parent's warm prepared-module cache, mirroring
+    the state a serial run would see); falls back to the platform
+    default (``spawn``) otherwise, where the initializer re-parses the
+    shipped module text.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(module_text, digest, kernel, model),
+    )
+
+
+def _init_worker(
+    module_text: str, digest: str, kernel: str, model: Any
+) -> None:
+    """Parse the module once per worker process."""
+    from repro.core.ir.parser import parse_module
+
+    _STATE["module"] = parse_module(module_text)
+    _STATE["digest"] = digest
+    _STATE["kernel"] = kernel
+    _STATE["model"] = model
+
+
+def price_point(
+    knobs: VariantKnobs,
+) -> Tuple[CostEstimate, CacheStats]:
+    """Price one knob point in a worker process.
+
+    Returns the estimate plus the prepared-cache stats delta this
+    pricing caused in the worker, for the parent to merge.
+    """
+    from repro.core.dse.cache import prepared_cache
+    from repro.core.dse.cost_model import price_variant
+    from repro.obs import Observation, observe
+
+    before = prepared_cache().stats.snapshot()
+    with observe(Observation()):
+        cost = price_variant(
+            _STATE["module"],
+            _STATE["kernel"],
+            knobs,
+            _STATE["model"],
+            digest=_STATE["digest"],
+        )
+    delta = prepared_cache().stats.delta(before)
+    return cost, delta

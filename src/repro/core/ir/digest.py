@@ -7,11 +7,22 @@ the same order. Hashing that text gives a *content* key — unlike
 ``id()`` it survives garbage collection, is never recycled, and is
 identical across processes, which is what the DSE caches need to
 memoize prepared variants and cost estimates safely.
+
+Digests are memoized on the module's monotonic version counter (see
+:meth:`repro.core.ir.module.Module.version`): an unmutated module is
+printed and hashed exactly once per process no matter how many cache
+lookups, lint passes, or DSE points ask for its digest, while any
+structural mutation bumps the counter and transparently invalidates
+the memo. :func:`digest_stats` exposes print/hit counters so tests and
+benchmarks can assert that repeated lookups do not re-print.
 """
 
 from __future__ import annotations
 
 import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
 
 from repro.core.ir.module import Module
 from repro.core.ir.printer import print_module, print_op
@@ -21,22 +32,100 @@ from repro.core.ir.printer import print_module, print_op
 DIGEST_VERSION = "1"
 
 
-def module_digest(module: Module) -> str:
-    """Stable hex digest of a module's printed structure."""
-    text = print_module(module)
+@dataclass
+class DigestStats:
+    """Counters for digest memoization (process-wide).
+
+    ``prints`` counts full IR reprints (the expensive part); ``hits``
+    counts lookups served from the version-keyed memo.
+    """
+
+    hits: int = 0
+    prints: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total digest requests."""
+        return self.hits + self.prints
+
+
+_stats = DigestStats()
+_memo_enabled = True
+
+
+def digest_stats() -> DigestStats:
+    """The process-wide digest counters (mutated in place)."""
+    return _stats
+
+
+def reset_digest_stats() -> DigestStats:
+    """Zero the counters and return the stats object."""
+    _stats.hits = 0
+    _stats.prints = 0
+    return _stats
+
+
+@contextmanager
+def digest_memoization(enabled: bool) -> Iterator[None]:
+    """Temporarily enable/disable the version-keyed memo.
+
+    Benchmarks use ``digest_memoization(False)`` to measure the
+    pre-memoization baseline, where every lookup reprints the module.
+    """
+    global _memo_enabled
+    previous = _memo_enabled
+    _memo_enabled = enabled
+    try:
+        yield
+    finally:
+        _memo_enabled = previous
+
+
+def _hash_text(text: str) -> str:
     payload = f"ir-digest-v{DIGEST_VERSION}\x1f{text}".encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
+
+
+def module_digest(module: Module) -> str:
+    """Stable hex digest of a module's printed structure."""
+    root = module.op
+    version = root.version
+    if _memo_enabled:
+        memo: Tuple[int, str] | None = getattr(root, "_digest_memo", None)
+        if memo is not None and memo[0] == version:
+            _stats.hits += 1
+            return memo[1]
+    _stats.prints += 1
+    digest = _hash_text(print_module(module))
+    if _memo_enabled:
+        root._digest_memo = (version, digest)
+    return digest
 
 
 def function_digest(module: Module, kernel: str) -> str:
     """Digest of one function's printed subtree (module-independent).
 
     Useful when only one kernel of a many-kernel module matters: edits
-    to sibling functions do not change this digest.
+    to sibling functions do not change this digest. Memoized per kernel
+    on the module version; a sibling edit merely forces a (cheap,
+    same-valued) recompute of this function's digest.
     """
+    root = module.op
+    version = root.version
+    if _memo_enabled:
+        memo: Dict[str, Tuple[int, str]] = getattr(
+            root, "_function_digest_memo", None
+        ) or {}
+        entry = memo.get(kernel)
+        if entry is not None and entry[0] == version:
+            _stats.hits += 1
+            return entry[1]
     function = module.find_function(kernel)
     if function is None:
         raise ValueError(f"no function named {kernel!r}")
-    text = print_op(function.op)
-    payload = f"ir-digest-v{DIGEST_VERSION}\x1f{text}".encode("utf-8")
-    return hashlib.sha256(payload).hexdigest()
+    _stats.prints += 1
+    digest = _hash_text(print_op(function.op))
+    if _memo_enabled:
+        memo[kernel] = (version, digest)
+        root._function_digest_memo = memo
+    return digest

@@ -95,6 +95,16 @@ class Module:
         """The single block holding top-level operations."""
         return self.op.regions[0].blocks[0]
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every structural edit.
+
+        :func:`repro.core.ir.digest.module_digest` memoizes on this, so
+        digesting an unmutated module is a counter compare, not a full
+        reprint of the IR.
+        """
+        return self.op.version
+
     def add_function(
         self,
         name: str,

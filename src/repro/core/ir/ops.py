@@ -18,6 +18,116 @@ from repro.errors import IRError
 _value_counter = itertools.count()
 
 
+class _AttrDict(dict):
+    """Attribute dictionary that version-bumps its owning operation.
+
+    Every mutation of an operation's attributes — including direct
+    ``op.attributes[...] = v`` / ``del op.attributes[...]`` writes that
+    bypass :meth:`Operation.set_attr` — must invalidate any memoized
+    digest of the enclosing module, so the structural hash can never be
+    served for changed IR.
+    """
+
+    __slots__ = ("owner",)
+
+    def __init__(self, owner: "Operation", data: Optional[Dict[str, Any]] = None):
+        super().__init__(data or {})
+        self.owner = owner
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.owner.bump_version()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        self.owner.bump_version()
+        super().__delitem__(key)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self.owner.bump_version()
+        super().update(*args, **kwargs)
+
+    def pop(self, *args: Any) -> Any:
+        self.owner.bump_version()
+        return super().pop(*args)
+
+    def popitem(self) -> Any:
+        self.owner.bump_version()
+        return super().popitem()
+
+    def setdefault(self, key: str, default: Any = None) -> Any:
+        if key not in self:
+            self.owner.bump_version()
+        return super().setdefault(key, default)
+
+    def clear(self) -> None:
+        self.owner.bump_version()
+        super().clear()
+
+
+class _OperationList(list):
+    """Operation list that version-bumps its owning block's root.
+
+    Passes mutate ``block.operations`` directly (remove/insert/slice);
+    routing every mutator through the version bump keeps memoized
+    digests sound without requiring all rewrites to go through helper
+    methods.
+    """
+
+    __slots__ = ("block",)
+
+    def __init__(self, block: "Block"):
+        super().__init__()
+        self.block = block
+
+    def _bump(self) -> None:
+        self.block.bump_version()
+
+    def append(self, op: "Operation") -> None:
+        self._bump()
+        super().append(op)
+
+    def extend(self, ops: Any) -> None:
+        self._bump()
+        super().extend(ops)
+
+    def insert(self, index: int, op: "Operation") -> None:
+        self._bump()
+        super().insert(index, op)
+
+    def remove(self, op: "Operation") -> None:
+        self._bump()
+        super().remove(op)
+
+    def pop(self, index: int = -1) -> "Operation":
+        self._bump()
+        return super().pop(index)
+
+    def clear(self) -> None:
+        self._bump()
+        super().clear()
+
+    def sort(self, **kwargs: Any) -> None:
+        self._bump()
+        super().sort(**kwargs)
+
+    def reverse(self) -> None:
+        self._bump()
+        super().reverse()
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._bump()
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index: Any) -> None:
+        self._bump()
+        super().__delitem__(index)
+
+    def __iadd__(self, other: Any) -> "_OperationList":
+        self._bump()
+        super().extend(other)
+        return self
+
+
 class Value:
     """An SSA value: produced by an operation result or a block argument."""
 
@@ -43,6 +153,7 @@ class Value:
                 other if operand is self else operand
                 for operand in user.operands
             ]
+            user.bump_version()
             if user not in other.uses:
                 other.uses.append(user)
         self.uses.clear()
@@ -67,8 +178,10 @@ class Operation:
                 f"operation name must be dialect-qualified, got {name!r}"
             )
         self.name = name
+        self.parent: Optional["Block"] = None
+        self._version: int = 0
         self.operands: List[Value] = list(operands)
-        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.attributes: Dict[str, Any] = _AttrDict(self, attributes or {})
         self.results: List[Value] = []
         for index, result_type in enumerate(result_types):
             value = Value(result_type)
@@ -76,10 +189,31 @@ class Operation:
             value.result_index = index
             self.results.append(value)
         self.regions: List[Region] = [Region(self) for _ in range(num_regions)]
-        self.parent: Optional["Block"] = None
         for operand in self.operands:
             if self not in operand.uses:
                 operand.uses.append(self)
+
+    def root(self) -> "Operation":
+        """The outermost operation enclosing this op (itself if detached)."""
+        op = self
+        while op.parent is not None:
+            op = op.parent.region.owner
+        return op
+
+    def bump_version(self) -> None:
+        """Record a structural mutation on the enclosing operation tree.
+
+        The counter lives on the root operation, so one walk up the
+        parent chain invalidates every memoized digest of the module no
+        matter how deep the mutation happened.
+        """
+        root = self.root()
+        root._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter of the enclosing operation tree."""
+        return self.root()._version
 
     @property
     def dialect(self) -> str:
@@ -115,6 +249,7 @@ class Operation:
         self.operands = [
             new if operand is old else operand for operand in self.operands
         ]
+        self.bump_version()
         if self in old.uses:
             old.uses.remove(self)
         if self not in new.uses:
@@ -190,7 +325,11 @@ class Block:
             value = Value(arg_type)
             value.block = self
             self.arguments.append(value)
-        self.operations: List[Operation] = []
+        self.operations: List[Operation] = _OperationList(self)
+
+    def bump_version(self) -> None:
+        """Propagate a mutation in this block to the root op's counter."""
+        self.region.owner.bump_version()
 
     def append(self, op: Operation) -> Operation:
         """Add an operation at the end of the block."""
@@ -228,6 +367,7 @@ class Region:
         """Append a new block with the given argument types."""
         block = Block(self, arg_types)
         self.blocks.append(block)
+        self.owner.bump_version()
         return block
 
     @property

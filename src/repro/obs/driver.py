@@ -95,6 +95,7 @@ def run_traced(
     strategy: str = "exhaustive",
     emit_artifacts: bool = False,
     workers: int = 1,
+    workers_mode: str = "thread",
     journal: Optional["RunJournal"] = None,
     resume: Optional["ReplayState"] = None,
 ) -> TracedRun:
@@ -104,7 +105,8 @@ def run_traced(
     ``"wall"`` (real profiling). Artifact emission is off by default —
     synthesizing every variant's bitstream dominates runtime and adds
     nothing to the trace shape. ``workers`` widens the DSE evaluation
-    pool without changing any output (including the trace digest).
+    pool and ``workers_mode`` picks threads or processes, without
+    changing any output (including the trace digest).
     ``journal``/``resume`` make the workflow stage durable and
     resumable (see :mod:`repro.workflow.journal`).
     """
@@ -121,7 +123,7 @@ def run_traced(
     with observe(obs):
         compiler = EverestCompiler(
             strategy=strategy, emit_artifacts=emit_artifacts,
-            workers=workers,
+            workers=workers, workers_mode=workers_mode,
         )
         app = compiler.compile(pipeline)
         ecosystem = build_reference_ecosystem()

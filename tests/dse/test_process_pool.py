@@ -1,0 +1,124 @@
+"""Process-pool evaluation parity with serial and threaded DSE.
+
+``workers_mode="process"`` ships cache misses to a fork-based worker
+pool; each child prices variants against its own parsed copy of the
+module and returns the cost plus its prepared-cache counter delta.
+The parent keeps sole ownership of the cost cache (get before dispatch,
+put after) so fronts, traces and cache statistics are byte-identical
+to a serial run at every worker count — the property this suite pins
+across all three search strategies, cold and warm.
+"""
+
+import pytest
+
+from repro.core.dse.cache import clear_caches, cost_cache, prepared_cache
+from repro.core.dse.explorer import Explorer
+from repro.core.dse.space import DesignSpace
+from repro.errors import DSEError
+from repro.obs import observe, session
+
+#: Small enough that fork startup doesn't dominate the suite, big
+#: enough to span several evaluation batches and both targets.
+SPACE = DesignSpace(
+    targets=("cpu", "fpga"),
+    threads=(1, 2),
+    unrolls=(1, 2, 4),
+    tiles=(0, 8),
+)
+
+#: (workers, workers_mode) grid the parity tests sweep. Serial is the
+#: reference; every other cell must reproduce it byte for byte.
+MODES = [
+    (1, "thread"),
+    (4, "thread"),
+    (2, "process"),
+    (3, "process"),
+]
+
+
+def explore(module, strategy, workers, workers_mode):
+    """One deterministic exploration; returns (result, trace json)."""
+    with observe(session(deterministic=True)) as obs:
+        explorer = Explorer(
+            module, "gemm", space=SPACE,
+            workers=workers, workers_mode=workers_mode,
+        )
+        kwargs = {} if strategy == "exhaustive" else {"seed": "pin"}
+        result = explorer.run(strategy, **kwargs)
+    return result, obs.tracer.to_json()
+
+
+class TestProcessMatchesSerial:
+    @pytest.mark.parametrize("strategy",
+                             ["exhaustive", "random", "evolutionary"])
+    def test_cold_byte_identical(self, gemm_module, strategy):
+        clear_caches()
+        reference, reference_trace = explore(
+            gemm_module, strategy, 1, "thread"
+        )
+        for workers, workers_mode in MODES[1:]:
+            clear_caches()
+            result, trace = explore(
+                gemm_module, strategy, workers, workers_mode
+            )
+            assert result.to_json() == reference.to_json(), (
+                workers, workers_mode
+            )
+            assert trace == reference_trace, (workers, workers_mode)
+
+    @pytest.mark.parametrize("strategy",
+                             ["exhaustive", "random", "evolutionary"])
+    def test_cache_stat_deltas_match_serial(self, gemm_module, strategy):
+        """The parent-owned cost cache must count exactly the same
+        hits/misses/stores whether misses are priced in-process or in
+        pool children (whose prepared-cache work is merged back)."""
+        deltas = []
+        for workers, workers_mode in MODES:
+            clear_caches()
+            cost_before = cost_cache().stats.snapshot()
+            prep_before = prepared_cache().stats.snapshot()
+            explore(gemm_module, strategy, workers, workers_mode)
+            deltas.append((
+                cost_cache().stats.delta(cost_before),
+                prepared_cache().stats.delta(prep_before),
+            ))
+        reference = deltas[0]
+        for delta, (workers, workers_mode) in zip(deltas[1:], MODES[1:]):
+            assert delta == reference, (workers, workers_mode)
+
+    def test_warm_process_run_is_hit_only(self, gemm_module):
+        """With the cost cache warm, the pool must never be consulted:
+        every point resolves to a parent-side cache hit."""
+        clear_caches()
+        cold, _ = explore(gemm_module, "exhaustive", 2, "process")
+        before = cost_cache().stats.snapshot()
+        warm, _ = explore(gemm_module, "exhaustive", 2, "process")
+        delta = cost_cache().stats.delta(before)
+        assert warm.to_json() == cold.to_json()
+        assert delta.misses == 0
+        assert delta.hits == warm.evaluations
+
+    def test_children_populate_parent_cost_cache(self, gemm_module):
+        """Costs priced in children are stored by the parent: a serial
+        re-run right after a process run must be all hits."""
+        clear_caches()
+        explore(gemm_module, "exhaustive", 3, "process")
+        before = cost_cache().stats.snapshot()
+        explore(gemm_module, "exhaustive", 1, "thread")
+        assert cost_cache().stats.delta(before).misses == 0
+
+
+class TestModeValidation:
+    def test_bogus_mode_rejected(self, gemm_module):
+        with pytest.raises(DSEError, match="workers_mode"):
+            Explorer(gemm_module, "gemm", space=SPACE,
+                     workers=2, workers_mode="bogus")
+
+    def test_process_mode_serial_width_stays_inline(self, gemm_module):
+        """workers=1 never spawns a pool, whatever the mode says."""
+        clear_caches()
+        explorer = Explorer(gemm_module, "gemm", space=SPACE,
+                            workers=1, workers_mode="process")
+        result = explorer.run("exhaustive")
+        assert explorer._process_pool is None
+        assert result.evaluations == SPACE.size()

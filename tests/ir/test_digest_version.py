@@ -1,0 +1,216 @@
+"""Version-counter digest memoization and its invalidation contract.
+
+Every structural mutation of an operation tree — builder inserts, pass
+rewrites, attribute edits, operand rewiring, erasure — must bump the
+module's monotonic version counter so a memoized digest can never be
+served for changed IR (the PR 5 id-recycling bug class, one layer up).
+Conversely, an *unmutated* module must be printed and hashed exactly
+once per process, no matter how many lookups ask for its digest.
+"""
+
+import pytest
+
+from repro.core.dsl.kernel_dsl import compile_kernel
+from repro.core.ir.builder import Builder
+from repro.core.ir.digest import (
+    digest_memoization,
+    digest_stats,
+    function_digest,
+    module_digest,
+    reset_digest_stats,
+)
+from repro.core.ir.module import Module
+from repro.core.ir.passes import LowerTensorPass, PassManager
+from repro.core.ir.types import F32, FunctionType, TensorType
+
+GEMM_SRC = """
+kernel gemm(A: tensor<8x8xf32>, B: tensor<8x8xf32>)
+        -> tensor<8x8xf32> {
+  C = A @ B
+  return C
+}
+"""
+
+
+def build_module():
+    return compile_kernel(GEMM_SRC)
+
+
+class TestMemoization:
+    def test_repeated_lookups_print_once(self):
+        module = build_module()
+        reset_digest_stats()
+        first = module_digest(module)
+        for _ in range(50):
+            assert module_digest(module) == first
+        stats = digest_stats()
+        assert stats.prints == 1
+        assert stats.hits == 50
+
+    def test_function_digest_memoized(self):
+        module = build_module()
+        reset_digest_stats()
+        first = function_digest(module, "gemm")
+        for _ in range(10):
+            assert function_digest(module, "gemm") == first
+        assert digest_stats().prints == 1
+
+    def test_memo_can_be_disabled(self):
+        module = build_module()
+        module_digest(module)  # warm the memo
+        reset_digest_stats()
+        with digest_memoization(False):
+            module_digest(module)
+            module_digest(module)
+        stats = digest_stats()
+        assert stats.prints == 2
+        assert stats.hits == 0
+        # re-enabled: the memo picks back up
+        module_digest(module)
+        assert digest_stats().hits == 1
+
+    def test_memo_matches_unmemoized_value(self):
+        module = build_module()
+        memoized = module_digest(module)
+        with digest_memoization(False):
+            assert module_digest(module) == memoized
+
+    def test_clone_digests_independently(self):
+        module = build_module()
+        original = module_digest(module)
+        clone = module.clone()
+        assert module_digest(clone) == original
+        clone.find_function("gemm").op.set_attr("target", "fpga")
+        assert module_digest(clone) != original
+        # the original's memo is untouched by clone mutations
+        reset_digest_stats()
+        assert module_digest(module) == original
+        assert digest_stats().hits == 1
+
+
+class TestInvalidation:
+    """Every mutation pathway must yield a fresh digest."""
+
+    def test_set_attr(self):
+        module = build_module()
+        before = module_digest(module)
+        module.find_function("gemm").op.set_attr("target", "fpga")
+        assert module_digest(module) != before
+
+    def test_direct_attribute_write_and_delete(self):
+        module = build_module()
+        op = module.find_function("gemm").op
+        before = module_digest(module)
+        op.attributes["pipeline_ii"] = 2
+        mid = module_digest(module)
+        assert mid != before
+        del op.attributes["pipeline_ii"]
+        after = module_digest(module)
+        assert after != mid
+        assert after == before  # same structure, same content digest
+
+    def test_builder_insert(self):
+        module = build_module()
+        function = module.find_function("gemm")
+        before = module_digest(module)
+        builder = Builder(function.entry_block)
+        builder.const(0.0)
+        assert module_digest(module) != before
+
+    def test_erase(self):
+        module = build_module()
+        function = module.find_function("gemm")
+        before = module_digest(module)
+        builder = Builder(function.entry_block)
+        const = builder.const(0.0)
+        mid = module_digest(module)
+        assert mid != before
+        const.producer.erase()
+        assert module_digest(module) == before
+
+    def test_replace_operand_and_rauw(self):
+        module = build_module()
+        function = module.find_function("gemm")
+        builder = Builder(function.entry_block)
+        a = builder.const(1.0)
+        b = builder.const(2.0)
+        add = builder.create("kernel.addf", [a, a], [F32])
+        before = module_digest(module)
+        add.replace_operand(a, b)
+        mid = module_digest(module)
+        assert mid != before
+        b.replace_all_uses_with(a)
+        assert module_digest(module) != mid
+
+    def test_add_and_remove_function(self):
+        module = build_module()
+        before = module_digest(module)
+        module.add_function(
+            "helper",
+            FunctionType((TensorType((4,), F32),), ()),
+            declaration=True,
+        )
+        mid = module_digest(module)
+        assert mid != before
+        module.remove_function("helper")
+        assert module_digest(module) == before
+
+    def test_direct_operations_list_mutation(self):
+        module = build_module()
+        function = module.find_function("gemm")
+        block = function.entry_block
+        before = module_digest(module)
+        op = block.operations.pop()
+        assert module_digest(module) != before
+        block.operations.append(op)
+        assert module_digest(module) == before
+
+    def test_pass_mutation_invalidates(self):
+        """Satellite guard: a pass rewriting a module in place must
+        bump the version so mutate-after-digest yields a fresh digest."""
+        module = build_module()
+        stale = module_digest(module)
+        version = module.version
+        manager = PassManager(verify_each=False)
+        manager.add(LowerTensorPass())
+        manager.run(module)
+        assert module.version > version
+        fresh = module_digest(module)
+        assert fresh != stale
+        # and the fresh digest is itself correct, not a stale memo
+        with digest_memoization(False):
+            assert module_digest(module) == fresh
+
+    def test_version_monotonic(self):
+        module = Module("m")
+        versions = [module.version]
+        module.add_function(
+            "f", FunctionType((), ()), declaration=True
+        )
+        versions.append(module.version)
+        module.find_function("f").op.set_attr("target", "cpu")
+        versions.append(module.version)
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+
+class TestFunctionDigestScoping:
+    def test_sibling_edit_keeps_function_digest_value(self):
+        module = build_module()
+        gemm_digest = function_digest(module, "gemm")
+        module.add_function(
+            "other", FunctionType((), ()), declaration=True
+        )
+        # value is module-independent: sibling edits don't change it
+        assert function_digest(module, "gemm") == gemm_digest
+
+    def test_own_edit_changes_function_digest(self):
+        module = build_module()
+        before = function_digest(module, "gemm")
+        module.find_function("gemm").op.set_attr("target", "fpga")
+        assert function_digest(module, "gemm") != before
+
+    def test_unknown_kernel_raises(self):
+        module = build_module()
+        with pytest.raises(ValueError, match="nope"):
+            function_digest(module, "nope")
